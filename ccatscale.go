@@ -1,0 +1,183 @@
+// Package ccatscale is a laboratory for evaluating TCP congestion
+// control throughput models and fairness properties at the scale of the
+// Internet core, reproducing Philip, Ware, Athapathu, Sherry & Sekar,
+// "Revisiting TCP Congestion Control Throughput Models & Fairness
+// Properties At Scale" (IMC 2021).
+//
+// The library wraps a deterministic packet-level discrete-event testbed
+// — a dumbbell topology with a drop-tail bottleneck, SACK/PRR/TLP TCP
+// transports, and NewReno, Cubic and BBRv1 congestion control — behind
+// the paper's experimental vocabulary: settings (EdgeScale, CoreScale),
+// flow mixes, warm-up and convergence rules, and the derived metrics
+// (Mathis-model fits, Jain's Fairness Index, inter-CCA shares, drop
+// burstiness).
+//
+// # Quick start
+//
+//	setting := ccatscale.CoreScaleScaled(50) // 200 Mbps, 20–100 flows
+//	res, err := ccatscale.Run(setting.Config(
+//		ccatscale.MixedFlows(40, "cubic", "reno", 20*time.Millisecond), 1))
+//	if err != nil { ... }
+//	fmt.Println(res.ShareByCCA()["cubic"]) // ≈0.7–0.8 (paper Finding 8)
+//
+// Every run is deterministic in its seed: identical configurations
+// reproduce bit-identical results.
+package ccatscale
+
+import (
+	"time"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/mathis"
+	"ccatscale/internal/metrics"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+	"ccatscale/internal/waremodel"
+)
+
+// Setting is an evaluation regime: bottleneck rate, buffer, flow-count
+// sweep, and run-length parameters. See EdgeScale, CoreScale and
+// CoreScaleScaled.
+type Setting = core.Setting
+
+// FlowSpec describes one flow (CCA name and base RTT).
+type FlowSpec = core.FlowSpec
+
+// RunConfig fully describes one experiment run.
+type RunConfig = core.RunConfig
+
+// RunResult holds per-flow and aggregate metrics of a completed run.
+type RunResult = core.RunResult
+
+// FlowResult holds one flow's measurement-window metrics.
+type FlowResult = core.FlowResult
+
+// MathisRow is one cell of the paper's §4 analysis (Table 1, Figures
+// 2–3, and the drop-burstiness corroboration).
+type MathisRow = core.MathisRow
+
+// FairnessRow is one cell of the fairness figures (§5).
+type FairnessRow = core.FairnessRow
+
+// InterCCAMode selects the competition pattern of an inter-CCA sweep.
+type InterCCAMode = core.InterCCAMode
+
+// Inter-CCA sweep modes.
+const (
+	// EqualSplit runs a 50/50 mix of two CCAs (Figures 5 and 8).
+	EqualSplit = core.EqualSplit
+	// OneVersusMany runs one flow of the first CCA against a crowd of
+	// the second (Figures 6 and 7).
+	OneVersusMany = core.OneVersusMany
+)
+
+// EdgeScale returns the paper's edge-link regime: 100 Mbps bottleneck,
+// 3 MB drop-tail buffer, tens of flows.
+func EdgeScale() Setting { return core.EdgeScale() }
+
+// CoreScale returns the paper's full at-scale regime: 10 Gbps, 375 MB
+// buffer, 1000–5000 flows. Full-fidelity sweeps at this setting process
+// billions of simulator events; prefer CoreScaleScaled for interactive
+// work.
+func CoreScale() Setting { return core.CoreScale() }
+
+// CoreScaleScaled shrinks CoreScale by divisor while preserving
+// per-flow bandwidth (2 Mbps/flow) and the buffer-to-BDP ratio.
+func CoreScaleScaled(divisor int) Setting { return core.CoreScaleScaled(divisor) }
+
+// Run executes one experiment.
+func Run(cfg RunConfig) (RunResult, error) { return core.Run(cfg) }
+
+// RunMany executes several runs concurrently (each deterministic) and
+// returns results in input order.
+func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
+	return core.RunMany(cfgs, parallelism)
+}
+
+// UniformFlows builds n flows of one CCA at one base RTT.
+func UniformFlows(n int, cca string, rtt time.Duration) []FlowSpec {
+	return core.UniformFlows(n, cca, sim.Duration(rtt))
+}
+
+// MixedFlows builds a 50/50 interleaved mix of two CCAs at one RTT.
+func MixedFlows(n int, ccaA, ccaB string, rtt time.Duration) []FlowSpec {
+	return core.MixedFlows(n, ccaA, ccaB, sim.Duration(rtt))
+}
+
+// OneVersusFlows builds one flow of loner plus n−1 flows of crowd.
+func OneVersusFlows(n int, loner, crowd string, rtt time.Duration) []FlowSpec {
+	return core.OneVersusFlows(n, loner, crowd, sim.Duration(rtt))
+}
+
+// MathisSweep runs the §4 experiment (all NewReno at 20 ms) across the
+// setting's flow counts: the data behind Table 1 and Figures 2–3.
+func MathisSweep(s Setting, seed uint64, parallelism int) ([]MathisRow, error) {
+	return core.MathisSweep(s, seed, parallelism)
+}
+
+// IntraCCASweep measures intra-CCA fairness (JFI) across flow counts
+// and RTTs (Figure 4 for "bbr"; Finding 4 for "reno"/"cubic").
+func IntraCCASweep(s Setting, cca string, rtts []time.Duration, seed uint64, parallelism int) ([]FairnessRow, error) {
+	return core.IntraCCASweep(s, cca, simTimes(rtts), seed, parallelism)
+}
+
+// InterCCASweep measures inter-CCA goodput shares (Figures 5–8).
+func InterCCASweep(s Setting, mode InterCCAMode, ccaA, ccaB string, rtts []time.Duration, seed uint64, parallelism int) ([]FairnessRow, error) {
+	return core.InterCCASweep(s, mode, ccaA, ccaB, simTimes(rtts), seed, parallelism)
+}
+
+// PaperRTTs returns the three base RTTs the paper's fairness figures
+// sweep: 20, 100 and 200 ms.
+func PaperRTTs() []time.Duration {
+	out := make([]time.Duration, len(core.RTTs))
+	for i, r := range core.RTTs {
+		out[i] = r.Std()
+	}
+	return out
+}
+
+func simTimes(ds []time.Duration) []sim.Time {
+	out := make([]sim.Time, len(ds))
+	for i, d := range ds {
+		out[i] = sim.Duration(d)
+	}
+	return out
+}
+
+// JFI computes Jain's Fairness Index over per-flow allocations.
+func JFI(xs []float64) float64 { return metrics.JFI(xs) }
+
+// Burstiness computes the Goh–Barabási burstiness score over event
+// timestamps (in any consistent unit).
+func Burstiness(times []float64) float64 { return metrics.Burstiness(times) }
+
+// MathisPredict returns the Mathis-model throughput (bytes/sec) for
+// constant c, segment size mssBytes, round-trip rtt, and congestion
+// event probability p.
+func MathisPredict(c, mssBytes float64, rtt time.Duration, p float64) float64 {
+	return mathis.Predict(c, mathis.Sample{P: p, RTTSeconds: rtt.Seconds(), MSSBytes: mssBytes})
+}
+
+// WareBBRShare returns the Ware et al. model's predicted steady-state
+// bandwidth share for a cap-limited BBR aggregate against loss-based
+// traffic, given the bottleneck buffer in base-BDP units (paper
+// Findings 6–7).
+func WareBBRShare(bufferBDP float64) float64 {
+	return waremodel.SingleBBRShare(bufferBDP)
+}
+
+// MSS is the segment size used throughout (1448 bytes, as in the
+// paper).
+const MSS = int(units.MSS)
+
+// ChurnConfig describes a flow-churn experiment: finite transfers
+// arriving as a Poisson process (the dynamic the paper's fixed
+// population deliberately excludes), measured by flow completion time.
+type ChurnConfig = core.ChurnConfig
+
+// ChurnResult summarizes a churn run (arrivals, completions, FCT
+// quantiles).
+type ChurnResult = core.ChurnResult
+
+// RunChurn executes one churn experiment.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) { return core.RunChurn(cfg) }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"ccatscale/internal/sim"
+)
+
+func TestParseFlows(t *testing.T) {
+	flows, err := parseFlows("2xbbr@20ms, 3xreno@100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5 {
+		t.Fatalf("flows = %d, want 5", len(flows))
+	}
+	if flows[0].CCA != "bbr" || flows[0].RTT != sim.Duration(20*time.Millisecond) {
+		t.Fatalf("flow 0 = %+v", flows[0])
+	}
+	if flows[4].CCA != "reno" || flows[4].RTT != sim.Duration(100*time.Millisecond) {
+		t.Fatalf("flow 4 = %+v", flows[4])
+	}
+}
+
+func TestParseFlowsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",             // empty
+		"bbr@20ms",     // missing count
+		"2xbbr",        // missing RTT
+		"0xbbr@20ms",   // zero count
+		"-1xreno@20ms", // negative count
+		"2xbbr@fast",   // bad duration
+		"2@bbrx20ms",   // @ before x
+	} {
+		if _, err := parseFlows(bad); err == nil {
+			t.Errorf("parseFlows(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickSetting(t *testing.T) {
+	if s := pickSetting(true, false, 10); s.Name != "EdgeScale" {
+		t.Fatalf("edge pick = %s", s.Name)
+	}
+	if s := pickSetting(false, true, 10); s.Name != "CoreScale" {
+		t.Fatalf("full pick = %s", s.Name)
+	}
+	if s := pickSetting(false, false, 10); s.Name != "CoreScale/10" {
+		t.Fatalf("scaled pick = %s", s.Name)
+	}
+	// Edge wins over full if both are set (documented precedence).
+	if s := pickSetting(true, true, 10); s.Name != "EdgeScale" {
+		t.Fatalf("precedence pick = %s", s.Name)
+	}
+}

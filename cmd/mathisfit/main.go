@@ -1,0 +1,105 @@
+// Command mathisfit derives the Mathis constant C from measurement
+// data, following the empirical methodology of Mathis et al. (1997)
+// that the paper applies in §4: least-squares fit of
+// Throughput = MSS·C/(RTT·√p) over per-flow samples.
+//
+// Input is CSV on stdin or in the files given as arguments, one sample
+// per line:
+//
+//	throughput_bytes_per_sec,p,rtt_seconds[,mss_bytes]
+//
+// Lines starting with '#' and a header line containing "throughput"
+// are ignored. MSS defaults to 1448. Output: the fitted C, the median
+// and 90th-percentile relative prediction errors, and the sample count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccatscale/internal/mathis"
+	"ccatscale/internal/metrics"
+)
+
+func main() {
+	mss := flag.Float64("mss", 1448, "default MSS in bytes for 3-column input")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mathisfit [-mss N] [file.csv ...] (default: stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var samples []mathis.Sample
+	if flag.NArg() == 0 {
+		s, err := parse(os.Stdin, *mss)
+		if err != nil {
+			fatal(err)
+		}
+		samples = s
+	}
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := parse(f, *mss)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		samples = append(samples, s...)
+	}
+
+	fit, err := mathis.FitAndEvaluate(samples)
+	if err != nil {
+		fatal(err)
+	}
+	errs := mathis.PredictionErrors(fit.C, samples)
+	fmt.Printf("samples: %d\n", fit.Samples)
+	fmt.Printf("C:       %.4f\n", fit.C)
+	fmt.Printf("median prediction error: %.1f%%\n", fit.MedianErr*100)
+	fmt.Printf("p90 prediction error:    %.1f%%\n", metrics.Quantile(errs, 0.9)*100)
+}
+
+func parse(r io.Reader, defaultMSS float64) ([]mathis.Sample, error) {
+	var out []mathis.Sample
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.Contains(strings.ToLower(text), "throughput") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("line %d: want ≥3 comma-separated fields, got %q", line, text)
+		}
+		var vals [4]float64
+		vals[3] = defaultMSS
+		for i := 0; i < len(fields) && i < 4; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d field %d: %v", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, mathis.Sample{
+			ThroughputBps: vals[0],
+			P:             vals[1],
+			RTTSeconds:    vals[2],
+			MSSBytes:      vals[3],
+		})
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mathisfit:", err)
+	os.Exit(1)
+}

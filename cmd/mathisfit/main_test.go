@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `# comment
+throughput,p,rtt
+724000,0.01,0.02
+362000,0.04,0.02,1000
+
+1000,0.001,0.1
+`
+	samples, err := parse(strings.NewReader(in), 1448)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	if samples[0].MSSBytes != 1448 {
+		t.Fatalf("default MSS not applied: %v", samples[0].MSSBytes)
+	}
+	if samples[1].MSSBytes != 1000 {
+		t.Fatalf("explicit MSS ignored: %v", samples[1].MSSBytes)
+	}
+	if samples[2].RTTSeconds != 0.1 {
+		t.Fatalf("rtt = %v", samples[2].RTTSeconds)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"too few fields": "1,2\n",
+		"non-numeric":    "a,b,c\n",
+	} {
+		if _, err := parse(strings.NewReader(in), 1448); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command reproduce regenerates every table and figure of the paper in
+// one invocation, writing one text file per result into an output
+// directory (default ./results). It is the driver behind
+// EXPERIMENTS.md.
+//
+//	reproduce [-out DIR] [-scale N] [-seed N] [-quick]
+//
+// -quick shrinks windows and flow counts for a minutes-long smoke pass;
+// the default tier is EdgeScale plus CoreScale/N (1 Gbps at N=10).
+// Paper-literal scale (10 Gbps, 5000 flows) remains available through
+// `ccatscale <fig> -full`, budgeted in CPU-days.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/report"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	scale := flag.Int("scale", 10, "CoreScale divisor")
+	seed := flag.Uint64("seed", 7, "experiment seed")
+	quick := flag.Bool("quick", false, "shrink windows and flow counts for a fast pass")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	edge := core.EdgeScale()
+	corePaper := core.CoreScaleScaled(*scale)
+	if *quick {
+		edge.Warmup, edge.Duration, edge.Stagger = 5*sim.Second, 20*sim.Second, 2*sim.Second
+		corePaper = core.CoreScaleScaled(*scale * 5)
+		corePaper.Warmup, corePaper.Duration, corePaper.Stagger = 5*sim.Second, 20*sim.Second, 2*sim.Second
+	}
+
+	type job struct {
+		name string
+		run  func() (*report.Table, error)
+	}
+	mathisTables := func(s core.Setting, label string) []job {
+		return []job{
+			{"table1_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, table1View) }},
+			{"fig2_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, fig2View) }},
+			{"fig3_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, fig3View) }},
+			{"burstiness_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, burstView) }},
+		}
+	}
+	var jobs []job
+	jobs = append(jobs, mathisTables(edge, "edge")...)
+	jobs = append(jobs, mathisTables(corePaper, "core")...)
+	jobs = append(jobs,
+		job{"finding4_reno_core", func() (*report.Table, error) {
+			return intraTable(corePaper, "reno", *seed, *parallel)
+		}},
+		job{"finding4_cubic_core", func() (*report.Table, error) {
+			return intraTable(corePaper, "cubic", *seed, *parallel)
+		}},
+		job{"fig4_edge", func() (*report.Table, error) { return intraTable(edge, "bbr", *seed, *parallel) }},
+		job{"fig4_core", func() (*report.Table, error) { return intraTable(corePaper, "bbr", *seed, *parallel) }},
+		job{"fig5_core", func() (*report.Table, error) {
+			return interTable(corePaper, core.EqualSplit, "cubic", "reno", *seed, *parallel)
+		}},
+		job{"fig6_core", func() (*report.Table, error) {
+			return interTable(corePaper, core.OneVersusMany, "bbr", "reno", *seed, *parallel)
+		}},
+		job{"fig7_core", func() (*report.Table, error) {
+			return interTable(corePaper, core.OneVersusMany, "bbr", "cubic", *seed, *parallel)
+		}},
+		job{"fig8_reno_core", func() (*report.Table, error) {
+			return interTable(corePaper, core.EqualSplit, "bbr", "reno", *seed, *parallel)
+		}},
+		job{"fig8_cubic_core", func() (*report.Table, error) {
+			return interTable(corePaper, core.EqualSplit, "bbr", "cubic", *seed, *parallel)
+		}},
+		job{"ext_rttmix_reno_core", func() (*report.Table, error) {
+			return rttmixTable(corePaper, "reno", *seed, *parallel)
+		}},
+		job{"ext_churn_core", func() (*report.Table, error) {
+			return churnTable(corePaper, *seed)
+		}},
+	)
+
+	for _, j := range jobs {
+		start := time.Now()
+		tab, err := j.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", j.name, err))
+		}
+		path := filepath.Join(*out, j.name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "\n[seed %d, wall %s]\n", *seed, time.Since(start).Round(time.Millisecond))
+		f.Close()
+		fmt.Printf("%-24s %8s  → %s\n", j.name, time.Since(start).Round(time.Second), path)
+	}
+}
+
+type mathisView int
+
+const (
+	table1View mathisView = iota
+	fig2View
+	fig3View
+	burstView
+)
+
+func mathisTable(s core.Setting, seed uint64, parallel int, view mathisView) (*report.Table, error) {
+	rows, err := core.MathisSweep(s, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	var tab *report.Table
+	switch view {
+	case table1View:
+		tab = report.NewTable("Table 1: Mathis constant C", "setting", "flows", "C(loss)", "C(halving)")
+		for _, r := range rows {
+			tab.AddRow(r.Setting, r.FlowCount, r.CLoss, r.CHalve)
+		}
+	case fig2View:
+		tab = report.NewTable("Figure 2: median prediction error (%)", "setting", "flows", "err(loss)%", "err(halving)%")
+		for _, r := range rows {
+			tab.AddRow(r.Setting, r.FlowCount, r.MedianErrLoss*100, r.MedianErrHalve*100)
+		}
+	case fig3View:
+		tab = report.NewTable("Figure 3: loss-to-halving ratio", "setting", "flows", "ratio")
+		for _, r := range rows {
+			tab.AddRow(r.Setting, r.FlowCount, r.LossToHalvingRatio)
+		}
+	case burstView:
+		tab = report.NewTable("Drop burstiness (Goh–Barabási)", "setting", "flows", "burstiness")
+		for _, r := range rows {
+			tab.AddRow(r.Setting, r.FlowCount, r.DropBurstiness)
+		}
+	}
+	return tab, nil
+}
+
+func intraTable(s core.Setting, cca string, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.IntraCCASweep(s, cca, core.RTTs, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable("Intra-CCA fairness: "+cca, "setting", "rtt", "flows", "JFI")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.RTT.String(), r.FlowCount, r.JFI)
+	}
+	return tab, nil
+}
+
+func interTable(s core.Setting, mode core.InterCCAMode, a, b string, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.InterCCASweep(s, mode, a, b, core.RTTs, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(fmt.Sprintf("Inter-CCA: %s vs %s", a, b), "setting", "rtt", "flows", a+" share %")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.RTT.String(), r.FlowCount, r.Share[a]*100)
+	}
+	return tab, nil
+}
+
+func rttmixTable(s core.Setting, cca string, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.RTTMixSweep(s, cca, 20*sim.Millisecond, 100*sim.Millisecond, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable("Extension: mixed-RTT fairness "+cca, "setting", "flows", "short share %", "JFI(short)", "JFI(long)")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.FlowCount, r.ShortShare*100, r.ShortJFI, r.LongJFI)
+	}
+	return tab, nil
+}
+
+func churnTable(s core.Setting, seed uint64) (*report.Table, error) {
+	tab := report.NewTable("Extension: Poisson flow churn (500 KB transfers)",
+		"load", "arrivals", "completed", "p50FCT_s", "p95FCT_s", "p99FCT_s")
+	size := 500 * units.KB
+	for _, load := range []float64{0.3, 0.6, 0.9} {
+		res, err := core.RunChurn(core.ChurnConfig{
+			Rate:          s.Rate,
+			Buffer:        s.Buffer,
+			CCA:           "reno",
+			RTT:           core.DefaultRTT,
+			TransferBytes: size,
+			ArrivalRate:   load * float64(s.Rate) / (float64(size) * 8),
+			Duration:      s.Duration,
+			Seed:          seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprintf("%.0f%%", load*100), res.Arrivals, res.Completed,
+			res.P50FCT, res.P95FCT, res.P99FCT)
+	}
+	return tab, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

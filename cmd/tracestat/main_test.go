@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTimestamps(t *testing.T) {
+	in := `# drop log
+0.5
+1.25,flowid=3
+2.0
+
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.25, 2.0}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse(strings.NewReader("not-a-number\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package ccatscale_test
+
+import (
+	"fmt"
+	"time"
+
+	"ccatscale"
+)
+
+// ExampleJFI reproduces the fairness arithmetic of the paper's §5:
+// equal shares score 1, a single hog among ten flows scores 1/n.
+func ExampleJFI() {
+	equal := ccatscale.JFI([]float64{5, 5, 5, 5})
+	hog := ccatscale.JFI([]float64{100, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	fmt.Printf("equal: %.2f hog: %.2f\n", equal, hog)
+	// Output: equal: 1.00 hog: 0.10
+}
+
+// ExampleMathisPredict evaluates the Mathis model at the paper's
+// parameters: MSS 1448, 20 ms RTT, 1 % congestion-event rate.
+func ExampleMathisPredict() {
+	bps := ccatscale.MathisPredict(1.0, 1448, 20*time.Millisecond, 0.01)
+	fmt.Printf("%.0f bytes/sec\n", bps)
+	// Output: 724000 bytes/sec
+}
+
+// ExampleBurstiness contrasts periodic and clustered event streams,
+// the §4 loss-burstiness measurement.
+func ExampleBurstiness() {
+	periodic := ccatscale.Burstiness([]float64{0, 1, 2, 3, 4, 5})
+	bursty := ccatscale.Burstiness([]float64{0, 0.01, 0.02, 10, 10.01, 10.02, 20, 20.01, 20.02})
+	fmt.Printf("periodic: %.0f bursty: %.2f\n", periodic, bursty)
+	// Output: periodic: -1 bursty: 0.27
+}
+
+// ExampleWareBBRShare shows the Ware et al. prediction the paper
+// validates in Figures 6–7: on a deep buffer, a cap-limited BBR
+// aggregate settles at a fixed link share regardless of how many
+// loss-based flows it faces.
+func ExampleWareBBRShare() {
+	fmt.Printf("deep buffer: %.0f%%\n", ccatscale.WareBBRShare(15)*100)
+	// Output: deep buffer: 50%
+}
+
+// ExampleRun executes a minimal deterministic experiment end to end.
+func ExampleRun() {
+	setting := ccatscale.CoreScaleScaled(100) // 100 Mbps tier
+	setting.Warmup = 5e9
+	setting.Duration = 20e9
+	res, err := ccatscale.Run(setting.Config(
+		ccatscale.UniformFlows(4, "reno", 20*time.Millisecond), 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("flows: %d, utilization > 90%%: %v\n",
+		len(res.Flows), res.Utilization > 0.9)
+	// Output: flows: 4, utilization > 90%: true
+}

@@ -1,0 +1,56 @@
+// BBRv2 preview: the paper closes by calling for at-scale evaluation of
+// future CCAs — BBRv2 was "a work in progress" at publication. This
+// example applies the paper's own methodology to the successor: how do
+// v1 and v2 treat a competing NewReno population, and how fair is each
+// to its own kind at scale?
+//
+//	go run ./examples/bbr2
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"ccatscale"
+)
+
+func main() {
+	setting := ccatscale.CoreScaleScaled(50) // 200 Mbps tier
+	rtts := []time.Duration{20 * time.Millisecond}
+	parallel := runtime.GOMAXPROCS(0)
+
+	fmt.Println("NewReno's share when half the flows are BBR (paper Fig 8 regime):")
+	fmt.Println("flows  reno-share% vs bbr(v1)  reno-share% vs bbr2")
+	for _, n := range setting.FlowCounts {
+		var shares [2]float64
+		for i, bbr := range []string{"bbr", "bbr2"} {
+			res, err := ccatscale.Run(setting.Config(
+				ccatscale.MixedFlows(n, bbr, "reno", rtts[0]), 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			shares[i] = res.ShareByCCA()["reno"]
+		}
+		fmt.Printf("%5d  %22.1f  %19.1f\n", n, shares[0]*100, shares[1]*100)
+	}
+	fmt.Println()
+	fmt.Println("BBRv2's explicit loss response (β-cut bounds, headroom) is designed")
+	fmt.Println("to leave loss-based flows more room than v1's loss-blind model.")
+	fmt.Println()
+
+	fmt.Println("Intra-CCA fairness at scale (paper Fig 4 applied to both versions):")
+	fmt.Println("flows  JFI(bbr v1)  JFI(bbr2)")
+	v1, err := ccatscale.IntraCCASweep(setting, "bbr", rtts, 2, parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2, err := ccatscale.IntraCCASweep(setting, "bbr2", rtts, 2, parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range v1 {
+		fmt.Printf("%5d  %11.3f  %9.3f\n", v1[i].FlowCount, v1[i].JFI, v2[i].JFI)
+	}
+}

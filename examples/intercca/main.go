@@ -1,0 +1,54 @@
+// Inter-CCA competition: the paper's §5.2 figures — one BBR flow
+// against a NewReno crowd (Figure 6: ≈40 % of the link, as the Ware et
+// al. model predicts) and Cubic against an equal NewReno population
+// (Figure 5: 70–80 %).
+//
+//	go run ./examples/intercca
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"ccatscale"
+)
+
+func main() {
+	setting := ccatscale.CoreScaleScaled(50) // 200 Mbps, 20–100 flows
+	rtts := []time.Duration{20 * time.Millisecond}
+	parallel := runtime.GOMAXPROCS(0)
+
+	// Figure 6: a single BBR flow versus a NewReno crowd. The Ware
+	// model says the BBR share depends only on its in-flight cap, not
+	// on how many competitors it faces.
+	bufferBDP := 15.0 // 1.5×BDP(200ms) ≈ 15×BDP(20ms), the flows' base RTT
+	fmt.Printf("One BBR flow vs NewReno crowd (Ware model predicts %.0f%%):\n",
+		ccatscale.WareBBRShare(bufferBDP)*100)
+	rows, err := ccatscale.InterCCASweep(setting, ccatscale.OneVersusMany, "bbr", "reno", rtts, 1, parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flows  bbr-share%")
+	for _, r := range rows {
+		fmt.Printf("%5d  %9.1f\n", r.FlowCount, r.Share["bbr"]*100)
+	}
+	fmt.Println()
+
+	// Figure 5: Cubic vs an equal number of NewReno flows.
+	fmt.Println("Cubic vs equal NewReno (paper: Cubic takes 70-80%):")
+	rows, err = ccatscale.InterCCASweep(setting, ccatscale.EqualSplit, "cubic", "reno", rtts, 2, parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flows  cubic-share%")
+	for _, r := range rows {
+		fmt.Printf("%5d  %11.1f\n", r.FlowCount, r.Share["cubic"]*100)
+	}
+	fmt.Println()
+	fmt.Println("A single flow holding tens of percent of a shared link that")
+	fmt.Println("thousands of neighbors split evenly is the paper's deployment")
+	fmt.Println("concern: one sender can affect everyone behind an inter-domain")
+	fmt.Println("link (§5.2 implications).")
+}

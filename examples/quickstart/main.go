@@ -1,0 +1,47 @@
+// Quickstart: run one small mixed-CCA experiment on the simulated
+// testbed and print per-flow results — the "hello world" of the
+// library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ccatscale"
+)
+
+func main() {
+	// A scaled-down CoreScale: 200 Mbps bottleneck, drop-tail buffer of
+	// 1.5 base-BDPs at 200 ms, per-flow bandwidth matching the paper's
+	// 2 Mbps/flow.
+	setting := ccatscale.CoreScaleScaled(50)
+	setting.Duration = 60 * 1e9 // 60 virtual seconds of measurement
+
+	// Ten Cubic flows against ten NewReno flows, all at 20 ms base RTT.
+	flows := ccatscale.MixedFlows(20, "cubic", "reno", 20*time.Millisecond)
+
+	res, err := ccatscale.Run(setting.Config(flows, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bottleneck %v, buffer %v, %d flows, window %v\n",
+		setting.Rate, setting.Buffer, len(flows), res.Window)
+	fmt.Printf("utilization %.1f%%, aggregate goodput %v, drops %d\n\n",
+		res.Utilization*100, res.AggregateGoodput, res.TotalDrops)
+
+	fmt.Println("flow  cca    goodput      loss%   meanRTT")
+	for i, f := range res.Flows {
+		fmt.Printf("%4d  %-5s  %-11v  %.3f   %v\n",
+			i, f.Spec.CCA, f.Goodput, f.LossRate*100, f.MeanRTT)
+	}
+
+	share := res.ShareByCCA()
+	fmt.Printf("\nCubic takes %.1f%% of goodput vs NewReno's %.1f%% — the paper's\n",
+		share["cubic"]*100, share["reno"]*100)
+	fmt.Println("Finding 8 (Cubic gets 70-80% against an equal NewReno population).")
+	fmt.Printf("Jain's Fairness Index across all flows: %.3f\n", res.JFI())
+}

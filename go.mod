@@ -1,0 +1,3 @@
+module ccatscale
+
+go 1.22

@@ -1,0 +1,516 @@
+package cca
+
+import (
+	"fmt"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// BBRv1 constants from draft-cardwell-iccrg-bbr-congestion-control-00
+// and the Linux tcp_bbr implementation the paper evaluates.
+const (
+	// bbrHighGain is 2/ln(2): fast enough to double the sending rate
+	// each round during STARTUP.
+	bbrHighGain = 2.885
+
+	// bbrDrainGain empties the queue STARTUP built.
+	bbrDrainGain = 1 / bbrHighGain
+
+	// bbrCwndGain is the ProbeBW congestion-window gain: up to 2 BDPs
+	// may be in flight — the inflight cap at the heart of the Ware et
+	// al. model the paper validates at scale.
+	bbrCwndGain = 2.0
+
+	// bbrBtlBwFilterLen is the bottleneck-bandwidth max-filter window
+	// in round trips.
+	bbrBtlBwFilterLen = 10
+
+	// bbrRTpropFilterLen is the min-RTT validity window.
+	bbrRTpropFilterLen = 10 * sim.Second
+
+	// bbrProbeRTTDuration is the time spent at minimal inflight during
+	// PROBE_RTT.
+	bbrProbeRTTDuration = 200 * sim.Millisecond
+
+	// bbrMinCwndSegments is the floor on the window (and the PROBE_RTT
+	// target).
+	bbrMinCwndSegments = 4
+
+	// bbrFullBwThresh declares the pipe full when bandwidth stops
+	// growing by at least 25 % per round...
+	bbrFullBwThresh = 1.25
+	// ...for bbrFullBwCount consecutive rounds.
+	bbrFullBwCount = 3
+
+	// bbrExtraAckedFilterLen is the ack-aggregation filter window in
+	// round trips (Linux bbr_extra_acked_win_rtts covers two 5-round
+	// sub-windows).
+	bbrExtraAckedFilterLen = 10
+
+	// bbrAckEpochResetThresh resets the aggregation epoch once the
+	// accounted bytes grow past this many estimated BDPs, bounding
+	// drift (Linux bbr_ack_epoch_acked_reset_thresh ≈ 1<<20 packets;
+	// a BDP-relative bound behaves equivalently here).
+	bbrAckEpochResetThresh = 10
+)
+
+// bbrState is the BBRv1 state machine phase.
+type bbrState uint8
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+func (s bbrState) String() string {
+	switch s {
+	case bbrStartup:
+		return "STARTUP"
+	case bbrDrain:
+		return "DRAIN"
+	case bbrProbeBW:
+		return "PROBE_BW"
+	case bbrProbeRTT:
+		return "PROBE_RTT"
+	}
+	return fmt.Sprintf("bbrState(%d)", uint8(s))
+}
+
+// bbrPacingGainCycle is the PROBE_BW gain cycle: probe above the
+// estimated bandwidth for one min-RTT, drain for one, then cruise.
+var bbrPacingGainCycle = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// BBR implements BBRv1 (Cardwell et al., "BBR: Congestion-Based
+// Congestion Control", ACM Queue 2016): a rate-based algorithm that
+// paces at a windowed-max estimate of bottleneck bandwidth, caps
+// inflight at cwnd_gain × estimated BDP, and periodically probes for
+// bandwidth and for a lower base RTT. BBRv1 does not reduce its window
+// in response to packet loss — the property behind the paper's
+// inter-CCA findings 6–7 — and its flow-synchronized ProbeRTT is the
+// mechanism whose breakdown at scale the paper hypothesizes causes
+// Finding 5's intra-CCA unfairness.
+type BBR struct {
+	mss units.ByteCount
+	rng *sim.RNG
+
+	state bbrState
+
+	// Model: bottleneck bandwidth (windowed max of delivery-rate
+	// samples) and round-trip propagation delay (windowed min).
+	btlBwFilter   *maxFilter
+	rtProp        sim.Time
+	rtPropStamp   sim.Time
+	rtPropValid   bool
+	rtPropExpired bool
+
+	roundCount uint64
+
+	pacingGain float64
+	cwndGain   float64
+
+	cwnd       units.ByteCount
+	pacingRate units.Bandwidth
+
+	// STARTUP full-pipe detection.
+	filledPipe  bool
+	fullBwBase  units.Bandwidth
+	fullBwCount int
+
+	// PROBE_BW gain cycling.
+	cycleIndex int
+	cycleStamp sim.Time
+
+	// PROBE_RTT bookkeeping.
+	probeRTTDoneStamp sim.Time
+	probeRTTRoundDone bool
+
+	// Ack-aggregation compensation (Linux bbr_update_ack_aggregation,
+	// v5.1+, present in the kernels the paper measures): when ACKs
+	// arrive in aggregated bursts (delayed ACKs, GRO stretch ACKs), a
+	// 2·BDP window cannot keep the pipe full between bursts, so the
+	// window is widened by the windowed-max of "bytes ACKed beyond
+	// what the estimated bandwidth predicts for the epoch".
+	extraAckedFilter *maxFilter
+	ackEpochStart    sim.Time
+	ackEpochAcked    units.ByteCount
+
+	// Loss-recovery window conservation (Linux-style save/restore).
+	priorCwnd  units.ByteCount
+	inRecovery bool
+
+	// packetConservation is true for the first round of recovery.
+	packetConservation bool
+
+	// restoreOnRound requests a cwnd restore at the next round start:
+	// set by OnRTO so the pre-timeout window returns as soon as the
+	// retransmission round completes, before the bandwidth filter's
+	// samples from the collapsed window can expire the model.
+	restoreOnRound bool
+}
+
+// NewBBR returns a BBRv1 controller. rng seeds the randomized PROBE_BW
+// starting phase; it must not be nil.
+func NewBBR(mss units.ByteCount, rng *sim.RNG) *BBR {
+	if rng == nil {
+		panic("cca: BBR requires an RNG")
+	}
+	b := &BBR{
+		mss:              mss,
+		rng:              rng,
+		btlBwFilter:      newMaxFilter(bbrBtlBwFilterLen),
+		extraAckedFilter: newMaxFilter(bbrExtraAckedFilterLen),
+		cwnd:             InitialCwndSegments * mss,
+	}
+	b.enterStartup()
+	return b
+}
+
+// Name implements CCA.
+func (b *BBR) Name() string { return "bbr" }
+
+// Cwnd implements CCA.
+func (b *BBR) Cwnd() units.ByteCount { return b.cwnd }
+
+// PacingRate implements CCA.
+func (b *BBR) PacingRate() units.Bandwidth { return b.pacingRate }
+
+// State returns the current state-machine phase (exported for tests and
+// ablation instrumentation).
+func (b *BBR) State() string { return b.state.String() }
+
+// BtlBw returns the current bottleneck-bandwidth estimate.
+func (b *BBR) BtlBw() units.Bandwidth { return units.Bandwidth(b.btlBwFilter.Get()) }
+
+// RTProp returns the current min-RTT estimate (0 before any sample).
+func (b *BBR) RTProp() sim.Time { return b.rtProp }
+
+func (b *BBR) enterStartup() {
+	b.state = bbrStartup
+	b.pacingGain = bbrHighGain
+	b.cwndGain = bbrHighGain
+}
+
+func (b *BBR) enterDrain() {
+	b.state = bbrDrain
+	b.pacingGain = bbrDrainGain
+	b.cwndGain = bbrHighGain
+}
+
+func (b *BBR) enterProbeBW(now sim.Time) {
+	b.state = bbrProbeBW
+	b.cwndGain = bbrCwndGain
+	// Randomized starting phase, excluding the 1.25 probe phase (index
+	// 0), as in the reference implementation: 1 + random(7) ∈ [1, 7].
+	b.cycleIndex = 1 + b.rng.Intn(len(bbrPacingGainCycle)-1)
+	b.pacingGain = bbrPacingGainCycle[b.cycleIndex]
+	b.cycleStamp = now
+}
+
+func (b *BBR) enterProbeRTT() {
+	b.state = bbrProbeRTT
+	b.pacingGain = 1
+	b.cwndGain = 1
+	b.probeRTTDoneStamp = 0
+	b.probeRTTRoundDone = false
+}
+
+// bdp returns gain × BtlBw × RTprop in bytes, or 0 while the model has
+// no samples.
+func (b *BBR) bdp(gain float64) units.ByteCount {
+	bw := b.BtlBw()
+	if bw == 0 || !b.rtPropValid {
+		return 0
+	}
+	bdp := bw.BytesPerSec() * b.rtProp.Seconds()
+	return units.ByteCount(gain * bdp)
+}
+
+// targetCwnd is the inflight target for the current cwnd gain plus the
+// ack-aggregation allowance, floored at the minimal window.
+func (b *BBR) targetCwnd() units.ByteCount {
+	t := b.bdp(b.cwndGain)
+	if b.state != bbrProbeRTT {
+		t += b.extraAcked()
+	}
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; t < min {
+		t = min
+	}
+	return t
+}
+
+// OnAck implements CCA: the draft's "upon ACK" model/state/control
+// update sequence.
+func (b *BBR) OnAck(ev AckEvent) {
+	if ev.RoundStart {
+		b.roundCount++
+		if b.packetConservation {
+			// One full round of packet conservation has elapsed;
+			// resume normal window growth toward the saved window.
+			b.packetConservation = false
+			b.restoreCwnd()
+		}
+		if b.restoreOnRound {
+			b.restoreOnRound = false
+			b.restoreCwnd()
+		}
+	}
+	b.updateBtlBw(ev)
+	b.updateAckAggregation(ev)
+	b.checkCyclePhase(ev)
+	b.checkFullPipe(ev)
+	b.checkDrain(ev)
+	b.updateRTProp(ev)
+	b.checkProbeRTT(ev)
+	b.setPacingRate()
+	b.setCwnd(ev)
+}
+
+func (b *BBR) updateBtlBw(ev AckEvent) {
+	if ev.Rate <= 0 {
+		return
+	}
+	// App-limited samples can only raise the estimate.
+	if !ev.RateAppLimited || int64(ev.Rate) > b.btlBwFilter.Get() {
+		b.btlBwFilter.Update(b.roundCount, int64(ev.Rate))
+	}
+}
+
+// updateAckAggregation measures how many bytes each ACK delivers beyond
+// the estimated bandwidth's prediction for the current epoch and keeps
+// a windowed maximum, which setCwnd adds to the inflight target.
+func (b *BBR) updateAckAggregation(ev AckEvent) {
+	bw := b.BtlBw()
+	if bw == 0 || ev.AckedBytes <= 0 {
+		return
+	}
+	if b.ackEpochStart == 0 {
+		b.ackEpochStart = ev.Now
+		b.ackEpochAcked = 0
+	}
+	expected := bw.BytesIn(ev.Now - b.ackEpochStart)
+	if b.ackEpochAcked <= expected ||
+		b.ackEpochAcked+ev.AckedBytes >= bbrAckEpochResetThresh*b.bdp(1) {
+		// The aggregate drained (or the epoch ran long): start a new
+		// epoch at this ACK.
+		b.ackEpochAcked = 0
+		b.ackEpochStart = ev.Now
+		expected = 0
+	}
+	b.ackEpochAcked += ev.AckedBytes
+	extra := b.ackEpochAcked - expected
+	if extra > b.cwnd {
+		extra = b.cwnd
+	}
+	b.extraAckedFilter.Update(b.roundCount, int64(extra))
+}
+
+// extraAcked returns the current ack-aggregation allowance.
+func (b *BBR) extraAcked() units.ByteCount {
+	return units.ByteCount(b.extraAckedFilter.Get())
+}
+
+func (b *BBR) checkCyclePhase(ev AckEvent) {
+	if b.state != bbrProbeBW {
+		return
+	}
+	if b.isNextCyclePhase(ev) {
+		b.cycleIndex = (b.cycleIndex + 1) % len(bbrPacingGainCycle)
+		b.pacingGain = bbrPacingGainCycle[b.cycleIndex]
+		b.cycleStamp = ev.Now
+	}
+}
+
+func (b *BBR) isNextCyclePhase(ev AckEvent) bool {
+	fullLength := ev.Now-b.cycleStamp > b.rtProp
+	// priorInFlight approximates the pipe just before this ACK removed
+	// its bytes, as the reference implementation's prior_in_flight.
+	priorInFlight := ev.InFlight + ev.AckedBytes
+	switch {
+	case b.pacingGain == 1:
+		return fullLength
+	case b.pacingGain > 1:
+		// Keep probing until the probe actually filled the pipe (or
+		// losses/recovery say it overfilled it).
+		return fullLength && (ev.InRecovery || priorInFlight >= b.bdp(b.pacingGain))
+	default:
+		// Drain phase ends early once the queue contribution is gone.
+		return fullLength || priorInFlight <= b.bdp(1)
+	}
+}
+
+func (b *BBR) checkFullPipe(ev AckEvent) {
+	if b.filledPipe || !ev.RoundStart || ev.RateAppLimited {
+		return
+	}
+	bw := b.BtlBw()
+	if float64(bw) >= float64(b.fullBwBase)*bbrFullBwThresh {
+		b.fullBwBase = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= bbrFullBwCount {
+		b.filledPipe = true
+	}
+}
+
+func (b *BBR) checkDrain(ev AckEvent) {
+	if b.state == bbrStartup && b.filledPipe {
+		b.enterDrain()
+	}
+	if b.state == bbrDrain && ev.InFlight <= b.bdp(1) {
+		b.enterProbeBW(ev.Now)
+	}
+}
+
+func (b *BBR) updateRTProp(ev AckEvent) {
+	// The expiry decision is latched before any refresh: the draft's
+	// BBRCheckProbeRTT consumes the flag computed here, so an inflated
+	// sample adopted on expiry still triggers the PROBE_RTT it proves
+	// necessary.
+	b.rtPropExpired = b.rtPropValid && ev.Now-b.rtPropStamp > bbrRTpropFilterLen
+	if ev.RTT <= 0 {
+		return
+	}
+	if ev.RTT <= b.rtProp || !b.rtPropValid || b.rtPropExpired {
+		b.rtProp = ev.RTT
+		b.rtPropStamp = ev.Now
+		b.rtPropValid = true
+	}
+}
+
+func (b *BBR) checkProbeRTT(ev AckEvent) {
+	if b.state != bbrProbeRTT && b.rtPropExpired {
+		b.saveCwnd()
+		b.enterProbeRTT()
+	}
+	if b.state == bbrProbeRTT {
+		b.handleProbeRTT(ev)
+	}
+}
+
+func (b *BBR) handleProbeRTT(ev AckEvent) {
+	minWin := units.ByteCount(bbrMinCwndSegments) * b.mss
+	if b.probeRTTDoneStamp == 0 && ev.InFlight <= minWin {
+		b.probeRTTDoneStamp = ev.Now + bbrProbeRTTDuration
+		b.probeRTTRoundDone = false
+		return
+	}
+	if b.probeRTTDoneStamp == 0 {
+		return
+	}
+	if ev.RoundStart {
+		b.probeRTTRoundDone = true
+	}
+	if b.probeRTTRoundDone && ev.Now > b.probeRTTDoneStamp {
+		// ProbeRTT complete: the fresh (possibly unchanged) estimate is
+		// valid for another filter window.
+		b.rtPropStamp = ev.Now
+		b.restoreCwnd()
+		if b.filledPipe {
+			b.enterProbeBW(ev.Now)
+		} else {
+			b.enterStartup()
+		}
+	}
+}
+
+func (b *BBR) setPacingRate() {
+	bw := b.BtlBw()
+	if bw == 0 {
+		// No bandwidth sample yet: pace the initial window across the
+		// first measured RTT, if we have one.
+		if b.rtPropValid && b.rtProp > 0 {
+			initialBw := units.Throughput(b.cwnd, b.rtProp)
+			b.pacingRate = units.Bandwidth(bbrHighGain * float64(initialBw))
+		}
+		return
+	}
+	rate := units.Bandwidth(b.pacingGain * float64(bw))
+	if b.filledPipe || rate > b.pacingRate {
+		b.pacingRate = rate
+	}
+}
+
+func (b *BBR) setCwnd(ev AckEvent) {
+	acked := ev.AckedBytes
+	if acked < 0 {
+		acked = 0
+	}
+	target := b.targetCwnd()
+	switch {
+	case b.packetConservation:
+		// First round of recovery: window follows inflight exactly.
+		b.cwnd = ev.InFlight + acked
+	case b.filledPipe:
+		b.cwnd += acked
+		if b.cwnd > target {
+			b.cwnd = target
+		}
+	case b.cwnd < target || units.ByteCount(ev.Delivered) < InitialCwndSegments*b.mss:
+		b.cwnd += acked
+	}
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; b.cwnd < min {
+		b.cwnd = min
+	}
+	if b.state == bbrProbeRTT {
+		if lim := units.ByteCount(bbrMinCwndSegments) * b.mss; b.cwnd > lim {
+			b.cwnd = lim
+		}
+	}
+}
+
+func (b *BBR) saveCwnd() {
+	if !b.inRecovery && b.state != bbrProbeRTT && !b.restoreOnRound {
+		b.priorCwnd = b.cwnd
+	} else if b.cwnd > b.priorCwnd {
+		// Already inside a loss/probe episode: never let a collapsed
+		// window overwrite the saved one.
+		b.priorCwnd = b.cwnd
+	}
+}
+
+func (b *BBR) restoreCwnd() {
+	if b.cwnd < b.priorCwnd {
+		b.cwnd = b.priorCwnd
+	}
+}
+
+// OnEnterRecovery implements CCA. BBRv1 does not back off its model on
+// loss; it only applies one round of packet conservation, then restores
+// the prior window (the Linux save/restore discipline).
+func (b *BBR) OnEnterRecovery(_ sim.Time, inFlight units.ByteCount) {
+	b.saveCwnd()
+	b.inRecovery = true
+	b.packetConservation = true
+	b.cwnd = inFlight + b.mss
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; b.cwnd < min {
+		b.cwnd = min
+	}
+}
+
+// ControlsRecovery implements cca.RecoveryController: BBR's packet
+// conservation replaces the transport's PRR.
+func (b *BBR) ControlsRecovery() {}
+
+// OnExitRecovery implements CCA.
+func (b *BBR) OnExitRecovery(_ sim.Time) {
+	b.inRecovery = false
+	b.packetConservation = false
+	b.restoreCwnd()
+}
+
+// OnRTO implements CCA: collapse to one segment for the retransmit, but
+// keep the model; the saved window returns at the next round start, as
+// the reference implementation's save/restore does on leaving the loss
+// state.
+func (b *BBR) OnRTO(_ sim.Time) {
+	b.saveCwnd()
+	b.cwnd = b.mss
+	b.packetConservation = false
+	b.inRecovery = false
+	b.restoreOnRound = true
+}

@@ -1,0 +1,466 @@
+package cca
+
+import (
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// BBRv2 constants, following the structure of
+// draft-cardwell-iccrg-bbr-congestion-control-02 and the Linux/Google
+// bbr2 reference parameters.
+const (
+	bbr2Beta = 0.7 // multiplicative cut applied to the lower bounds on loss
+
+	// bbr2LossThresh is the per-round loss-rate ceiling the probe
+	// respects: probing stops raising inflight_hi once a round loses
+	// more than this fraction.
+	bbr2LossThresh = 0.02
+
+	// bbr2Headroom keeps inflight slightly below the estimated ceiling
+	// to leave room for entering flows.
+	bbr2Headroom = 0.85
+
+	// bbr2MinRTTWin is the (shorter than v1) min-RTT validity window.
+	bbr2MinRTTWin = 5 * sim.Second
+
+	// bbr2ProbeRTTCwndGain floors PROBE_RTT at half a BDP instead of
+	// v1's four packets — a far milder drain.
+	bbr2ProbeRTTCwndGain = 0.5
+
+	// bbr2ProbeBWCycles is the number of non-probing rounds between
+	// bandwidth probes (time-scaled in the reference; round-scaled
+	// here, matching the simulation's ack-clocked granularity).
+	bbr2ProbeBWCycles = 8
+)
+
+// bbr2State is the BBRv2 state machine phase.
+type bbr2State uint8
+
+const (
+	bbr2Startup bbr2State = iota
+	bbr2Drain
+	bbr2ProbeBWDown
+	bbr2ProbeBWCruise
+	bbr2ProbeBWRefill
+	bbr2ProbeBWUp
+	bbr2ProbeRTT
+)
+
+func (s bbr2State) String() string {
+	switch s {
+	case bbr2Startup:
+		return "STARTUP"
+	case bbr2Drain:
+		return "DRAIN"
+	case bbr2ProbeBWDown:
+		return "PROBE_DOWN"
+	case bbr2ProbeBWCruise:
+		return "CRUISE"
+	case bbr2ProbeBWRefill:
+		return "REFILL"
+	case bbr2ProbeBWUp:
+		return "PROBE_UP"
+	case bbr2ProbeRTT:
+		return "PROBE_RTT"
+	}
+	return "bbr2State(?)"
+}
+
+// BBR2 implements a faithful-in-structure, simplified BBRv2: the same
+// bandwidth/min-RTT model as BBRv1 plus the v2 additions that address
+// v1's deployment complaints the paper raises — an explicit loss
+// response (bounded multiplicative decrease of the short-term bounds),
+// headroom below the estimated inflight ceiling, milder and less
+// frequent probing, and a much lighter PROBE_RTT.
+//
+// BBRv2 is an extension beyond the paper's measured CCAs ("a work in
+// progress" at publication time); the harness includes it so the
+// paper's at-scale methodology can be applied to it — exactly the
+// future evaluation the paper calls for.
+type BBR2 struct {
+	mss units.ByteCount
+	rng *sim.RNG
+
+	state bbr2State
+
+	btlBwFilter *maxFilter
+	rtProp      sim.Time
+	rtPropStamp sim.Time
+	rtPropValid bool
+	rtPropExp   bool
+
+	roundCount uint64
+
+	// Short-term bounds (reset on loss, decay upward).
+	bwLo       units.Bandwidth
+	inflightLo units.ByteCount
+	// Long-term ceiling discovered by probing into loss.
+	inflightHi units.ByteCount
+
+	pacingGain float64
+	cwndGain   float64
+	cwnd       units.ByteCount
+	pacingRate units.Bandwidth
+
+	filledPipe  bool
+	fullBwBase  units.Bandwidth
+	fullBwCount int
+
+	// Probe scheduling (round-based).
+	roundsInPhase int
+
+	// Per-round loss accounting.
+	lossRoundDelivered units.ByteCount
+	lossRoundLost      units.ByteCount
+	lastRoundLossy     bool
+
+	probeRTTDoneStamp sim.Time
+	probeRTTRoundDone bool
+
+	priorCwnd          units.ByteCount
+	inRecovery         bool
+	packetConservation bool
+	restoreOnRound     bool
+}
+
+// NewBBR2 returns a BBRv2 controller.
+func NewBBR2(mss units.ByteCount, rng *sim.RNG) *BBR2 {
+	if rng == nil {
+		panic("cca: BBR2 requires an RNG")
+	}
+	b := &BBR2{
+		mss:         mss,
+		rng:         rng,
+		btlBwFilter: newMaxFilter(bbrBtlBwFilterLen),
+		cwnd:        InitialCwndSegments * mss,
+		state:       bbr2Startup,
+		pacingGain:  bbrHighGain,
+		cwndGain:    bbrHighGain,
+	}
+	return b
+}
+
+// Name implements CCA.
+func (b *BBR2) Name() string { return "bbr2" }
+
+// Cwnd implements CCA.
+func (b *BBR2) Cwnd() units.ByteCount { return b.cwnd }
+
+// PacingRate implements CCA.
+func (b *BBR2) PacingRate() units.Bandwidth { return b.pacingRate }
+
+// State returns the phase name (for tests and instrumentation).
+func (b *BBR2) State() string { return b.state.String() }
+
+// BtlBw returns the effective bandwidth estimate: the windowed max
+// bounded by the short-term bw_lo.
+func (b *BBR2) BtlBw() units.Bandwidth {
+	bw := units.Bandwidth(b.btlBwFilter.Get())
+	if b.bwLo > 0 && b.bwLo < bw {
+		bw = b.bwLo
+	}
+	return bw
+}
+
+// RTProp returns the min-RTT estimate.
+func (b *BBR2) RTProp() sim.Time { return b.rtProp }
+
+// ControlsRecovery implements cca.RecoveryController.
+func (b *BBR2) ControlsRecovery() {}
+
+func (b *BBR2) bdp(gain float64) units.ByteCount {
+	bw := b.BtlBw()
+	if bw == 0 || !b.rtPropValid {
+		return 0
+	}
+	return units.ByteCount(gain * bw.BytesPerSec() * b.rtProp.Seconds())
+}
+
+// OnAck implements CCA.
+func (b *BBR2) OnAck(ev AckEvent) {
+	if ev.RoundStart {
+		b.roundCount++
+		b.roundsInPhase++
+		b.endLossRound()
+		if b.packetConservation {
+			b.packetConservation = false
+			b.restoreCwnd()
+		}
+		if b.restoreOnRound {
+			b.restoreOnRound = false
+			b.restoreCwnd()
+		}
+	}
+	b.lossRoundDelivered += ev.AckedBytes
+
+	if ev.Rate > 0 && (!ev.RateAppLimited || int64(ev.Rate) > b.btlBwFilter.Get()) {
+		b.btlBwFilter.Update(b.roundCount, int64(ev.Rate))
+	}
+	b.updateRTProp(ev)
+	b.updateState(ev)
+	b.setPacing()
+	b.setCwnd(ev)
+}
+
+// endLossRound evaluates the finished round's loss rate and advances
+// the bound decay.
+func (b *BBR2) endLossRound() {
+	total := b.lossRoundDelivered + b.lossRoundLost
+	b.lastRoundLossy = total > 0 && float64(b.lossRoundLost) > bbr2LossThresh*float64(total)
+	b.lossRoundDelivered = 0
+	b.lossRoundLost = 0
+	// Bounds decay back toward the long-term model when rounds are
+	// clean.
+	if !b.lastRoundLossy {
+		if b.bwLo > 0 {
+			b.bwLo += b.bwLo / 8
+			if int64(b.bwLo) >= b.btlBwFilter.Get() {
+				b.bwLo = 0 // bound released
+			}
+		}
+		if b.inflightLo > 0 {
+			b.inflightLo += b.inflightLo / 8
+			if b.inflightHi == 0 || b.inflightLo >= b.inflightHi {
+				b.inflightLo = 0
+			}
+		}
+	}
+}
+
+func (b *BBR2) updateRTProp(ev AckEvent) {
+	b.rtPropExp = b.rtPropValid && ev.Now-b.rtPropStamp > bbr2MinRTTWin
+	if ev.RTT <= 0 {
+		return
+	}
+	if ev.RTT <= b.rtProp || !b.rtPropValid || b.rtPropExp {
+		b.rtProp = ev.RTT
+		b.rtPropStamp = ev.Now
+		b.rtPropValid = true
+	}
+}
+
+func (b *BBR2) updateState(ev AckEvent) {
+	switch b.state {
+	case bbr2Startup:
+		b.checkFullPipe(ev)
+		if b.filledPipe || b.lastRoundLossy {
+			b.filledPipe = true
+			b.state = bbr2Drain
+			b.pacingGain = bbrDrainGain
+			b.cwndGain = bbrCwndGain
+		}
+	case bbr2Drain:
+		if ev.InFlight <= b.bdp(1) {
+			b.enterProbeDown(ev)
+		}
+	case bbr2ProbeBWDown:
+		if ev.InFlight <= units.ByteCount(bbr2Headroom*float64(b.bdp(1))) {
+			b.state = bbr2ProbeBWCruise
+			b.pacingGain = 1
+			b.cwndGain = bbrCwndGain
+			b.roundsInPhase = 0
+		}
+	case bbr2ProbeBWCruise:
+		if b.roundsInPhase >= bbr2ProbeBWCycles {
+			b.state = bbr2ProbeBWRefill
+			b.pacingGain = 1
+			b.cwndGain = bbrCwndGain
+			b.roundsInPhase = 0
+			// Refill releases the short-term bounds so the probe can
+			// actually lift inflight.
+			b.bwLo = 0
+			b.inflightLo = 0
+		}
+	case bbr2ProbeBWRefill:
+		if b.roundsInPhase >= 1 {
+			b.state = bbr2ProbeBWUp
+			b.pacingGain = 1.25
+			b.cwndGain = bbrCwndGain
+			b.roundsInPhase = 0
+		}
+	case bbr2ProbeBWUp:
+		// Probe until loss says the ceiling was found, or for one
+		// min-RTT round past filling the pipe.
+		if b.lastRoundLossy {
+			b.inflightHi = ev.InFlight + ev.AckedBytes
+			b.enterProbeDown(ev)
+		} else if b.roundsInPhase >= 2 && ev.InFlight >= b.bdp(1.25) {
+			b.enterProbeDown(ev)
+		}
+	case bbr2ProbeRTT:
+		b.handleProbeRTT(ev)
+	}
+	if b.state != bbr2ProbeRTT && b.state != bbr2Startup && b.rtPropExp {
+		b.saveCwnd()
+		b.state = bbr2ProbeRTT
+		b.pacingGain = 1
+		b.cwndGain = bbr2ProbeRTTCwndGain
+		b.probeRTTDoneStamp = 0
+		b.probeRTTRoundDone = false
+	}
+}
+
+func (b *BBR2) enterProbeDown(ev AckEvent) {
+	b.state = bbr2ProbeBWDown
+	b.pacingGain = 0.9
+	b.cwndGain = bbrCwndGain
+	b.roundsInPhase = 0
+}
+
+func (b *BBR2) probeRTTTarget() units.ByteCount {
+	t := b.bdp(bbr2ProbeRTTCwndGain)
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; t < min {
+		t = min
+	}
+	return t
+}
+
+func (b *BBR2) handleProbeRTT(ev AckEvent) {
+	target := b.probeRTTTarget()
+	if b.probeRTTDoneStamp == 0 && ev.InFlight <= target {
+		b.probeRTTDoneStamp = ev.Now + bbrProbeRTTDuration
+		b.probeRTTRoundDone = false
+		return
+	}
+	if b.probeRTTDoneStamp == 0 {
+		return
+	}
+	if ev.RoundStart {
+		b.probeRTTRoundDone = true
+	}
+	if b.probeRTTRoundDone && ev.Now > b.probeRTTDoneStamp {
+		b.rtPropStamp = ev.Now
+		b.restoreCwnd()
+		b.enterProbeDown(ev)
+	}
+}
+
+func (b *BBR2) checkFullPipe(ev AckEvent) {
+	if b.filledPipe || !ev.RoundStart || ev.RateAppLimited {
+		return
+	}
+	bw := units.Bandwidth(b.btlBwFilter.Get())
+	if float64(bw) >= float64(b.fullBwBase)*bbrFullBwThresh {
+		b.fullBwBase = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= bbrFullBwCount {
+		b.filledPipe = true
+	}
+}
+
+func (b *BBR2) setPacing() {
+	bw := b.BtlBw()
+	if bw == 0 {
+		if b.rtPropValid && b.rtProp > 0 {
+			init := units.Throughput(b.cwnd, b.rtProp)
+			b.pacingRate = units.Bandwidth(bbrHighGain * float64(init))
+		}
+		return
+	}
+	rate := units.Bandwidth(b.pacingGain * float64(bw))
+	if b.filledPipe || rate > b.pacingRate {
+		b.pacingRate = rate
+	}
+}
+
+func (b *BBR2) inflightTarget() units.ByteCount {
+	t := b.bdp(b.cwndGain)
+	// Respect the loss-derived bounds with headroom.
+	if b.inflightHi > 0 {
+		hi := units.ByteCount(bbr2Headroom * float64(b.inflightHi))
+		if b.state == bbr2ProbeBWUp || b.state == bbr2ProbeBWRefill {
+			hi = b.inflightHi // probing is allowed to touch the ceiling
+		}
+		if t > hi {
+			t = hi
+		}
+	}
+	if b.inflightLo > 0 && b.state != bbr2ProbeBWUp && b.state != bbr2ProbeBWRefill && t > b.inflightLo {
+		t = b.inflightLo
+	}
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; t < min {
+		t = min
+	}
+	return t
+}
+
+func (b *BBR2) setCwnd(ev AckEvent) {
+	target := b.inflightTarget()
+	switch {
+	case b.packetConservation:
+		b.cwnd = ev.InFlight + ev.AckedBytes
+	case b.filledPipe:
+		b.cwnd += ev.AckedBytes
+		if b.cwnd > target {
+			b.cwnd = target
+		}
+	case b.cwnd < target || units.ByteCount(ev.Delivered) < InitialCwndSegments*b.mss:
+		b.cwnd += ev.AckedBytes
+	}
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; b.cwnd < min {
+		b.cwnd = min
+	}
+	if b.state == bbr2ProbeRTT {
+		if lim := b.probeRTTTarget(); b.cwnd > lim {
+			b.cwnd = lim
+		}
+	}
+}
+
+func (b *BBR2) saveCwnd() {
+	if !b.inRecovery && b.state != bbr2ProbeRTT && !b.restoreOnRound {
+		b.priorCwnd = b.cwnd
+	} else if b.cwnd > b.priorCwnd {
+		b.priorCwnd = b.cwnd
+	}
+}
+
+func (b *BBR2) restoreCwnd() {
+	if b.cwnd < b.priorCwnd {
+		b.cwnd = b.priorCwnd
+	}
+}
+
+// OnEnterRecovery implements CCA: unlike v1, BBRv2 responds to loss —
+// the short-term bounds take a β cut, so the very next windows actually
+// shrink.
+func (b *BBR2) OnEnterRecovery(_ sim.Time, inFlight units.ByteCount) {
+	b.saveCwnd()
+	b.inRecovery = true
+	b.packetConservation = true
+	b.lossRoundLost += b.mss // at least one segment was lost
+
+	bw := units.Bandwidth(b.btlBwFilter.Get())
+	cut := units.Bandwidth(bbr2Beta * float64(bw))
+	if b.bwLo == 0 || cut < b.bwLo {
+		b.bwLo = cut
+	}
+	infCut := units.ByteCount(bbr2Beta * float64(inFlight))
+	if b.inflightLo == 0 || infCut < b.inflightLo {
+		b.inflightLo = infCut
+	}
+	b.cwnd = inFlight + b.mss
+	if min := units.ByteCount(bbrMinCwndSegments) * b.mss; b.cwnd < min {
+		b.cwnd = min
+	}
+}
+
+// OnExitRecovery implements CCA.
+func (b *BBR2) OnExitRecovery(_ sim.Time) {
+	b.inRecovery = false
+	b.packetConservation = false
+	b.restoreCwnd()
+}
+
+// OnRTO implements CCA.
+func (b *BBR2) OnRTO(_ sim.Time) {
+	b.saveCwnd()
+	b.cwnd = b.mss
+	b.packetConservation = false
+	b.inRecovery = false
+	b.restoreOnRound = true
+	b.lossRoundLost += b.mss
+}

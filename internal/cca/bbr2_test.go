@@ -1,0 +1,202 @@
+package cca
+
+import (
+	"testing"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// bbr2Harness drives a BBR2 instance like bbrHarness drives BBR.
+type bbr2Harness struct {
+	b         *BBR2
+	now       sim.Time
+	rtt       sim.Time
+	linkRate  units.Bandwidth
+	delivered units.ByteCount
+	inFlight  units.ByteCount
+	jitter    sim.Time
+}
+
+func newBBR2Harness(rate units.Bandwidth, rtt sim.Time) *bbr2Harness {
+	return &bbr2Harness{
+		b:        NewBBR2(testMSS, sim.NewRNG(7)),
+		rtt:      rtt,
+		linkRate: rate,
+	}
+}
+
+func (h *bbr2Harness) round() {
+	sendable := h.b.Cwnd()
+	if pr := h.b.PacingRate(); pr > 0 {
+		if paceable := pr.BytesIn(h.rtt); paceable < sendable {
+			sendable = paceable
+		}
+	}
+	rate := units.Throughput(sendable, h.rtt)
+	if rate > h.linkRate {
+		rate = h.linkRate
+	}
+	h.inFlight = sendable
+	acks := int(sendable / testMSS)
+	if acks == 0 {
+		acks = 1
+	}
+	step := h.rtt / sim.Time(acks)
+	for i := 0; i < acks; i++ {
+		h.now += step
+		h.delivered += testMSS
+		h.inFlight -= testMSS
+		if h.inFlight < 0 {
+			h.inFlight = 0
+		}
+		h.b.OnAck(AckEvent{
+			Now:        h.now,
+			AckedBytes: testMSS,
+			RTT:        h.rtt + h.jitter,
+			MinRTT:     h.rtt,
+			Delivered:  h.delivered,
+			Rate:       rate,
+			RoundStart: i == 0,
+			InFlight:   h.inFlight,
+		})
+	}
+}
+
+func TestBBR2ReachesProbeBWAndConverges(t *testing.T) {
+	link := 100 * units.MbitPerSec
+	h := newBBR2Harness(link, 20*sim.Millisecond)
+	for i := 0; i < 60; i++ {
+		h.round()
+	}
+	st := h.b.State()
+	if st == "STARTUP" || st == "DRAIN" {
+		t.Fatalf("state = %s after 60 rounds", st)
+	}
+	got := float64(h.b.BtlBw())
+	if got < 0.8*float64(link) || got > 1.3*float64(link) {
+		t.Fatalf("BtlBw = %v, want ≈%v", h.b.BtlBw(), link)
+	}
+}
+
+func TestBBR2RespondsToLossUnlikeV1(t *testing.T) {
+	// The defining v2 behavior: a loss episode cuts the effective
+	// bandwidth bound by β, where v1 sails on unchanged.
+	h := newBBR2Harness(100*units.MbitPerSec, 20*sim.Millisecond)
+	for i := 0; i < 60; i++ {
+		h.round()
+	}
+	before := h.b.BtlBw()
+	h.b.OnEnterRecovery(h.now, h.inFlight)
+	after := h.b.BtlBw()
+	if float64(after) > 0.75*float64(before) {
+		t.Fatalf("loss did not cut the bound: %v → %v", before, after)
+	}
+	// The bound decays back once rounds are clean again.
+	h.b.OnExitRecovery(h.now)
+	for i := 0; i < 30; i++ {
+		h.round()
+	}
+	if h.b.BtlBw() < before*9/10 {
+		t.Fatalf("bound never recovered: %v (was %v)", h.b.BtlBw(), before)
+	}
+}
+
+func TestBBR2ProbeRTTUsesHalfBDP(t *testing.T) {
+	h := newBBR2Harness(100*units.MbitPerSec, 20*sim.Millisecond)
+	for i := 0; i < 30; i++ {
+		h.round()
+	}
+	h.jitter = sim.Millisecond // keep min-RTT stale
+	var cwndDuring units.ByteCount
+	saw := false
+	for i := 0; i < 600 && !saw; i++ {
+		h.round()
+		if h.b.State() == "PROBE_RTT" {
+			saw = true
+			cwndDuring = h.b.Cwnd()
+		}
+	}
+	if !saw {
+		t.Fatal("never entered PROBE_RTT (5s window)")
+	}
+	bdp := units.BDP(100*units.MbitPerSec, 20*sim.Millisecond)
+	// Half a BDP, not 4 packets: far milder than v1.
+	if cwndDuring < bdp/4 || cwndDuring > bdp {
+		t.Fatalf("PROBE_RTT cwnd = %v, want ≈BDP/2 (%v)", cwndDuring, bdp/2)
+	}
+}
+
+func TestBBR2InflightHiCapsAfterLossProbe(t *testing.T) {
+	h := newBBR2Harness(100*units.MbitPerSec, 20*sim.Millisecond)
+	for i := 0; i < 60; i++ {
+		h.round()
+	}
+	// Signal a lossy probe round: ceiling discovered at current inflight.
+	h.b.lossRoundLost = 100 * testMSS
+	h.b.lossRoundDelivered = 100 * testMSS
+	h.b.state = bbr2ProbeBWUp
+	h.b.OnAck(AckEvent{
+		Now: h.now + sim.Millisecond, AckedBytes: testMSS, RTT: 20 * sim.Millisecond,
+		Delivered: h.delivered, Rate: h.b.BtlBw(), RoundStart: true,
+		InFlight: 50 * testMSS,
+	})
+	if h.b.inflightHi == 0 {
+		t.Fatal("lossy probe did not set inflight_hi")
+	}
+	if h.b.State() != "PROBE_DOWN" {
+		t.Fatalf("state after lossy probe = %s, want PROBE_DOWN", h.b.State())
+	}
+}
+
+func TestBBR2RegisteredAndControlsRecovery(t *testing.T) {
+	f, ok := ByName("bbr2")
+	if !ok {
+		t.Fatal("bbr2 not registered")
+	}
+	c := f(testMSS, sim.NewRNG(1))
+	if c.Name() != "bbr2" {
+		t.Fatal("wrong CCA")
+	}
+	if _, ok := c.(RecoveryController); !ok {
+		t.Fatal("bbr2 must control its own recovery window")
+	}
+}
+
+func TestBBR2RTORestore(t *testing.T) {
+	h := newBBR2Harness(100*units.MbitPerSec, 20*sim.Millisecond)
+	for i := 0; i < 60; i++ {
+		h.round()
+	}
+	prior := h.b.Cwnd()
+	h.b.OnRTO(h.now)
+	if h.b.Cwnd() > bbrMinCwndSegments*testMSS {
+		t.Fatalf("cwnd after RTO = %v", h.b.Cwnd())
+	}
+	for i := 0; i < 20; i++ {
+		h.round()
+	}
+	if h.b.Cwnd() < prior/2 {
+		t.Fatalf("cwnd never rebuilt after RTO: %v (prior %v)", h.b.Cwnd(), prior)
+	}
+}
+
+func TestBBR2StateStrings(t *testing.T) {
+	want := map[bbr2State]string{
+		bbr2Startup: "STARTUP", bbr2Drain: "DRAIN",
+		bbr2ProbeBWDown: "PROBE_DOWN", bbr2ProbeBWCruise: "CRUISE",
+		bbr2ProbeBWRefill: "REFILL", bbr2ProbeBWUp: "PROBE_UP",
+		bbr2ProbeRTT: "PROBE_RTT", bbr2State(99): "bbr2State(?)",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("String(%d) = %q", s, s.String())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBBR2(nil) did not panic")
+		}
+	}()
+	NewBBR2(testMSS, nil)
+}

@@ -1,0 +1,247 @@
+package cca
+
+import (
+	"testing"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// driveCubicRound delivers one window's worth of 1-MSS ACKs spread over
+// rtt, returning the new now.
+func driveCubicRound(c *Cubic, now, rtt sim.Time) sim.Time {
+	cwnd := c.Cwnd()
+	n := int(cwnd / testMSS)
+	if n == 0 {
+		n = 1
+	}
+	step := rtt / sim.Time(n)
+	for i := 0; i < n; i++ {
+		now += step
+		c.OnAck(AckEvent{Now: now, AckedBytes: testMSS, RTT: rtt})
+	}
+	return now
+}
+
+func TestCubicInitialAndIdentity(t *testing.T) {
+	c := NewCubic(testMSS)
+	if c.Cwnd() != 10*testMSS {
+		t.Fatalf("initial cwnd = %v", c.Cwnd())
+	}
+	if c.Name() != "cubic" || c.PacingRate() != 0 {
+		t.Fatal("identity/pacing wrong")
+	}
+	if !c.InSlowStart() {
+		t.Fatal("not in slow start initially")
+	}
+}
+
+func TestCubicSlowStartGrowth(t *testing.T) {
+	c := NewCubic(testMSS)
+	start := c.Cwnd()
+	for acked := units.ByteCount(0); acked < start; acked += testMSS {
+		c.OnAck(AckEvent{Now: sim.Millisecond, AckedBytes: testMSS, RTT: 20 * sim.Millisecond})
+	}
+	if c.Cwnd() != 2*start {
+		t.Fatalf("slow-start round: cwnd = %v, want %v", c.Cwnd(), 2*start)
+	}
+}
+
+func TestCubicMultiplicativeDecreaseIsBeta(t *testing.T) {
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	rtt := 20 * sim.Millisecond
+	for i := 0; i < 6; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	before := c.Cwnd()
+	c.OnEnterRecovery(now, 0)
+	got := float64(c.Cwnd()) / float64(before)
+	if got < cubicBeta-0.01 || got > cubicBeta+0.01 {
+		t.Fatalf("MD factor = %v, want %v", got, cubicBeta)
+	}
+}
+
+func TestCubicConcaveRecoveryTowardWmax(t *testing.T) {
+	// W_max ≈ 80 segments after 3 slow-start doublings, so
+	// K = cbrt(80·0.3/0.4) ≈ 3.9 s: the plateau is reachable in a few
+	// hundred 100 ms rounds.
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	rtt := 100 * sim.Millisecond
+	for i := 0; i < 3; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	wMaxBytes := c.Cwnd()
+	c.OnEnterRecovery(now, 0)
+	c.OnExitRecovery(now)
+
+	for i := 0; i < 600 && c.Cwnd() < wMaxBytes*95/100; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	if c.Cwnd() < wMaxBytes*95/100 {
+		t.Fatalf("window never recovered toward W_max: %v < %v", c.Cwnd(), wMaxBytes)
+	}
+	// The recovery must have taken at least K seconds: cubic approaches
+	// the old maximum slowly (concave region), unlike slow start.
+	kSeconds := (now - 0).Seconds()
+	if kSeconds < 2 {
+		t.Fatalf("recovered implausibly fast (%.1fs); concave region not honored", kSeconds)
+	}
+}
+
+func TestCubicConvexGrowthBeyondWmax(t *testing.T) {
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	rtt := 100 * sim.Millisecond
+	for i := 0; i < 3; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	wMax := c.Cwnd()
+	c.OnEnterRecovery(now, 0)
+	c.OnExitRecovery(now)
+	// Drive well past the plateau: beyond K the cubic term goes convex
+	// and the window must clear 2×W_max.
+	for i := 0; i < 600 && c.Cwnd() < 2*wMax; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	if c.Cwnd() < 2*wMax {
+		t.Fatalf("window did not enter convex growth: %v after plateau %v", c.Cwnd(), wMax)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	rtt := 20 * sim.Millisecond
+	for i := 0; i < 8; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	c.OnEnterRecovery(now, 0)
+	c.OnExitRecovery(now)
+	firstWmax := c.wMax
+	// Second loss before regaining wMax → wMax should shrink below the
+	// current window's natural wMax (fast convergence releases room).
+	c.OnEnterRecovery(now, 0)
+	if c.wMax >= firstWmax {
+		t.Fatalf("fast convergence did not shrink wMax: %v → %v", firstWmax, c.wMax)
+	}
+}
+
+func TestCubicRTO(t *testing.T) {
+	c := NewCubic(testMSS)
+	now := driveCubicRound(c, 0, 20*sim.Millisecond)
+	c.OnRTO(now)
+	if c.Cwnd() != testMSS {
+		t.Fatalf("cwnd after RTO = %v, want 1 MSS", c.Cwnd())
+	}
+}
+
+func TestCubicFrozenInRecovery(t *testing.T) {
+	c := NewCubic(testMSS)
+	c.OnEnterRecovery(sim.Second, 0)
+	during := c.Cwnd()
+	for i := 0; i < 20; i++ {
+		c.OnAck(AckEvent{Now: sim.Second + sim.Time(i)*sim.Millisecond, AckedBytes: testMSS, RTT: 20 * sim.Millisecond})
+	}
+	if c.Cwnd() != during {
+		t.Fatalf("cwnd changed during recovery: %v → %v", during, c.Cwnd())
+	}
+}
+
+func TestCubicGrowsFasterAtHigherRTT(t *testing.T) {
+	// Cubic's RTT-independence of the cubic term means the window in
+	// segments grows with wall time, so per-round growth at 200 ms RTT
+	// should exceed NewReno's one-MSS-per-round by a wide margin once in
+	// the convex region. This is the property that lets Cubic out-compete
+	// NewReno (paper Finding 8).
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	rtt := 200 * sim.Millisecond
+	for i := 0; i < 6; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	c.OnEnterRecovery(now, 0)
+	c.OnExitRecovery(now)
+	start := c.Cwnd()
+	rounds := 30
+	for i := 0; i < rounds; i++ {
+		now = driveCubicRound(c, now, rtt)
+	}
+	growth := c.Cwnd() - start
+	renoGrowth := units.ByteCount(rounds) * testMSS
+	if growth < 2*renoGrowth {
+		t.Fatalf("cubic growth %v not clearly above reno growth %v at 200ms RTT", growth, renoGrowth)
+	}
+}
+
+func TestHyStartExitsBeforeOvershoot(t *testing.T) {
+	// A pipe with 50-segment BDP: as slow start exceeds it, RTT climbs;
+	// HyStart must end slow start well before the window doubles past
+	// the pipe.
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	base := 20 * sim.Millisecond
+	bdpSegs := 50.0
+	perSeg := sim.Time(float64(base) / bdpSegs)
+	for round := 0; round < 20 && c.InSlowStart(); round++ {
+		cwndSegs := float64(c.Cwnd() / testMSS)
+		rtt := base
+		if cwndSegs > bdpSegs {
+			rtt += sim.Time(cwndSegs-bdpSegs) * perSeg
+		}
+		n := int(cwndSegs)
+		for i := 0; i < n; i++ {
+			now += rtt / sim.Time(n)
+			c.OnAck(AckEvent{Now: now, AckedBytes: testMSS, RTT: rtt, RoundStart: i == 0})
+		}
+	}
+	if c.InSlowStart() {
+		t.Fatal("HyStart never ended slow start despite RTT growth")
+	}
+	if c.HyStartExits() == 0 {
+		t.Fatal("exit not attributed to HyStart")
+	}
+	// Exit must happen before a catastrophic overshoot (≾ 3×BDP).
+	if got := float64(c.Cwnd() / testMSS); got > 3*bdpSegs {
+		t.Fatalf("HyStart exit at %v segs; overshoot not prevented", got)
+	}
+}
+
+func TestHyStartDisabledKeepsClassicSlowStart(t *testing.T) {
+	c := NewCubic(testMSS)
+	c.SetHyStart(false)
+	now := sim.Time(0)
+	base := 20 * sim.Millisecond
+	// Strongly rising RTT, but HyStart is off: slow start continues
+	// until loss.
+	for round := 0; round < 10; round++ {
+		rtt := base + sim.Time(round)*10*sim.Millisecond
+		n := int(c.Cwnd() / testMSS)
+		for i := 0; i < n; i++ {
+			now += rtt / sim.Time(n)
+			c.OnAck(AckEvent{Now: now, AckedBytes: testMSS, RTT: rtt, RoundStart: i == 0})
+		}
+	}
+	if !c.InSlowStart() {
+		t.Fatal("slow start ended without loss despite HyStart disabled")
+	}
+}
+
+func TestHyStartIgnoresSmallWindows(t *testing.T) {
+	c := NewCubic(testMSS)
+	now := sim.Time(0)
+	// Below hystartLowWindow segments, rising RTT must not end slow
+	// start (avoids spurious exits on tiny flows).
+	for round := 0; round < 3 && float64(c.Cwnd()/testMSS) < hystartLowWindow; round++ {
+		rtt := 20*sim.Millisecond + sim.Time(round)*20*sim.Millisecond
+		n := int(c.Cwnd() / testMSS)
+		for i := 0; i < n; i++ {
+			now += rtt / sim.Time(n)
+			c.OnAck(AckEvent{Now: now, AckedBytes: testMSS, RTT: rtt, RoundStart: i == 0})
+		}
+		if !c.InSlowStart() {
+			t.Fatal("HyStart fired below the low-window threshold")
+		}
+	}
+}

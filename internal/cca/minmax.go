@@ -1,0 +1,80 @@
+package cca
+
+// maxFilter is a windowed maximum estimator over an integer-stamped
+// window (round-trip counts for BBR's bottleneck-bandwidth filter). It
+// is a direct port of the Kathleen Nichols lib/minmax design used by
+// Linux: the best three samples are kept so the maximum can "decay" as
+// stale samples age out, in O(1) time and space.
+//
+// The estimate never underruns the most recent sample and never exceeds
+// the all-time maximum; like the kernel's, it is an approximation of
+// the exact windowed maximum that errs only on the side of remembering
+// a recently-expired larger sample slightly too long.
+type maxFilter struct {
+	window uint64 // width in stamp units
+	s      [3]maxSample
+}
+
+type maxSample struct {
+	t uint64
+	v int64
+}
+
+// newMaxFilter creates a filter whose samples expire after window stamp
+// units.
+func newMaxFilter(window uint64) *maxFilter {
+	return &maxFilter{window: window}
+}
+
+// Update inserts a sample and returns the current windowed maximum.
+func (f *maxFilter) Update(t uint64, v int64) int64 {
+	val := maxSample{t, v}
+	if v >= f.s[0].v || // found new max
+		t-f.s[2].t > f.window { // nothing left in window
+		f.reset(val)
+		return f.Get()
+	}
+	if v >= f.s[1].v {
+		f.s[1] = val
+	} else if v >= f.s[2].v {
+		f.s[2] = val
+	}
+	f.subwinUpdate(val)
+	return f.Get()
+}
+
+// subwinUpdate ages out best choices that have fallen out of the window
+// (the "quarter/half window without a challenger" heuristic from
+// lib/minmax.c).
+func (f *maxFilter) subwinUpdate(val maxSample) {
+	dt := val.t - f.s[0].t
+	switch {
+	case dt > f.window:
+		// Passed the entire window without a new max: make the 2nd
+		// choice the new best, the 3rd the new 2nd, and insert val.
+		f.s[0] = f.s[1]
+		f.s[1] = f.s[2]
+		f.s[2] = val
+		if val.t-f.s[0].t > f.window {
+			f.s[0] = f.s[1]
+			f.s[1] = f.s[2]
+			f.s[2] = val
+		}
+	case f.s[1].t == f.s[0].t && dt > f.window/4:
+		// A quarter of the window passed without a better 2nd choice.
+		f.s[1] = val
+		f.s[2] = val
+	case f.s[2].t == f.s[1].t && dt > f.window/2:
+		// Half the window passed without a better 3rd choice.
+		f.s[2] = val
+	}
+}
+
+func (f *maxFilter) reset(val maxSample) {
+	f.s[0] = val
+	f.s[1] = val
+	f.s[2] = val
+}
+
+// Get returns the current windowed maximum.
+func (f *maxFilter) Get() int64 { return f.s[0].v }

@@ -1,0 +1,122 @@
+package cca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccatscale/internal/sim"
+)
+
+func TestMaxFilterTracksMax(t *testing.T) {
+	f := newMaxFilter(10)
+	f.Update(0, 100)
+	if f.Get() != 100 {
+		t.Fatalf("Get = %d, want 100", f.Get())
+	}
+	f.Update(1, 50)
+	if f.Get() != 100 {
+		t.Fatalf("smaller sample changed max: %d", f.Get())
+	}
+	f.Update(2, 200)
+	if f.Get() != 200 {
+		t.Fatalf("larger sample not adopted: %d", f.Get())
+	}
+}
+
+func TestMaxFilterExpiry(t *testing.T) {
+	f := newMaxFilter(10)
+	f.Update(0, 1000)
+	for tm := uint64(1); tm <= 30; tm++ {
+		f.Update(tm, 100)
+	}
+	if f.Get() != 100 {
+		t.Fatalf("stale max survived expiry: %d", f.Get())
+	}
+}
+
+func TestMaxFilterDecaysThroughIntermediates(t *testing.T) {
+	f := newMaxFilter(10)
+	f.Update(0, 1000)
+	f.Update(3, 500)
+	f.Update(6, 200)
+	// At t=11 the 1000 sample has expired; the 500 one should take over.
+	f.Update(11, 100)
+	if f.Get() != 500 {
+		t.Fatalf("after first expiry Get = %d, want 500", f.Get())
+	}
+	// At t=14 the 500 sample has expired too.
+	f.Update(14, 100)
+	if f.Get() != 200 {
+		t.Fatalf("after second expiry Get = %d, want 200", f.Get())
+	}
+}
+
+// Property: the filter is a sound approximation — its estimate never
+// exceeds the maximum over samples in the last 2×window stamps (bounded
+// staleness), and never falls below the most recent sample.
+func TestMaxFilterBoundsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		const window = 8
+		filt := newMaxFilter(window)
+		var all []maxSample
+		for i, v := range vals {
+			tm := uint64(i)
+			filt.Update(tm, int64(v))
+			all = append(all, maxSample{tm, int64(v)})
+			var maxRecent int64
+			for _, s := range all {
+				if tm-s.t <= 2*window && s.v > maxRecent {
+					maxRecent = s.v
+				}
+			}
+			got := filt.Get()
+			if got > maxRecent || got < int64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a constant stream converges the estimate to that constant
+// within one window, regardless of history.
+func TestMaxFilterConvergenceProperty(t *testing.T) {
+	f := func(history []uint16, c uint16) bool {
+		const window = 8
+		filt := newMaxFilter(window)
+		tm := uint64(0)
+		for _, v := range history {
+			filt.Update(tm, int64(v))
+			tm++
+		}
+		for i := 0; i < 2*window+2; i++ {
+			filt.Update(tm, int64(c))
+			tm++
+		}
+		return filt.Get() == int64(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBRStateString(t *testing.T) {
+	for s, want := range map[bbrState]string{
+		bbrStartup:  "STARTUP",
+		bbrDrain:    "DRAIN",
+		bbrProbeBW:  "PROBE_BW",
+		bbrProbeRTT: "PROBE_RTT",
+		bbrState(9): "bbrState(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", s, got, want)
+		}
+	}
+	b := NewBBR(testMSS, sim.NewRNG(1))
+	if b.State() != "STARTUP" {
+		t.Fatalf("new BBR state = %s", b.State())
+	}
+}

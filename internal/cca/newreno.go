@@ -1,0 +1,104 @@
+package cca
+
+import (
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// Reno implements TCP NewReno congestion control (RFC 5681 congestion
+// avoidance with the RFC 6582 fast-recovery discipline; the recovery
+// bookkeeping itself lives in the transport). This is the classic
+// loss-based AIMD algorithm whose throughput the Mathis model predicts.
+type Reno struct {
+	mss      units.ByteCount
+	cwnd     units.ByteCount
+	ssthresh units.ByteCount
+
+	// acked accumulates bytes ACKed during congestion avoidance toward
+	// the next full-window increment of one MSS (byte-counting variant
+	// of the classic cwnd += MSS²/cwnd per ACK).
+	acked units.ByteCount
+
+	inRecovery bool
+}
+
+// NewReno returns a NewReno controller with the standard 10-segment
+// initial window.
+func NewReno(mss units.ByteCount) *Reno {
+	return &Reno{
+		mss:      mss,
+		cwnd:     InitialCwndSegments * mss,
+		ssthresh: units.ByteCount(1) << 40, // "infinite": slow start until first loss
+	}
+}
+
+// Name implements CCA.
+func (r *Reno) Name() string { return "reno" }
+
+// Cwnd implements CCA.
+func (r *Reno) Cwnd() units.ByteCount { return r.cwnd }
+
+// PacingRate implements CCA: NewReno is purely ACK-clocked.
+func (r *Reno) PacingRate() units.Bandwidth { return 0 }
+
+// InSlowStart reports whether the window is below ssthresh.
+func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
+
+// OnAck implements CCA: slow start grows the window by the bytes acked
+// (capped at 2·MSS per ACK, RFC 3465 ABC with L=2); congestion
+// avoidance grows it one MSS per window's worth of acknowledged data.
+func (r *Reno) OnAck(ev AckEvent) {
+	if r.inRecovery {
+		// Window is frozen at ssthresh during fast recovery; the
+		// transport clocks out segments against the pipe estimate.
+		return
+	}
+	if ev.AckedBytes <= 0 {
+		return
+	}
+	if r.InSlowStart() {
+		inc := ev.AckedBytes
+		if inc > 2*r.mss {
+			inc = 2 * r.mss
+		}
+		r.cwnd += inc
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	r.acked += ev.AckedBytes
+	if r.acked >= r.cwnd {
+		r.acked -= r.cwnd
+		r.cwnd += r.mss
+	}
+}
+
+// OnEnterRecovery implements CCA: the multiplicative decrease. This is
+// exactly the "CWND halving" event the paper counts via tcpprobe when
+// validating the Mathis model.
+func (r *Reno) OnEnterRecovery(_ sim.Time, _ units.ByteCount) {
+	r.ssthresh = maxBytes(r.cwnd/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+	r.acked = 0
+	r.inRecovery = true
+}
+
+// OnExitRecovery implements CCA.
+func (r *Reno) OnExitRecovery(_ sim.Time) { r.inRecovery = false }
+
+// OnRTO implements CCA: collapse to one segment and restart slow start
+// toward half the pre-timeout window (RFC 5681 §3.1).
+func (r *Reno) OnRTO(_ sim.Time) {
+	r.ssthresh = maxBytes(r.cwnd/2, 2*r.mss)
+	r.cwnd = r.mss
+	r.acked = 0
+	r.inRecovery = false
+}
+
+func maxBytes(a, b units.ByteCount) units.ByteCount {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package cca
+
+import (
+	"testing"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+const testMSS = units.MSS
+
+func ack(bytes units.ByteCount) AckEvent {
+	return AckEvent{AckedBytes: bytes, RTT: 20 * sim.Millisecond}
+}
+
+func TestRenoInitialWindow(t *testing.T) {
+	r := NewReno(testMSS)
+	if r.Cwnd() != 10*testMSS {
+		t.Fatalf("initial cwnd = %v, want %v", r.Cwnd(), 10*testMSS)
+	}
+	if !r.InSlowStart() {
+		t.Fatal("new connection not in slow start")
+	}
+	if r.Name() != "reno" || r.PacingRate() != 0 {
+		t.Fatal("identity/pacing wrong")
+	}
+}
+
+func TestRenoSlowStartDoublesPerRound(t *testing.T) {
+	r := NewReno(testMSS)
+	// One round: every in-flight segment ACKed; cwnd should double
+	// (ABC cap of 2·MSS per ACK doesn't bite for 1-segment ACKs).
+	start := r.Cwnd()
+	for acked := units.ByteCount(0); acked < start; acked += testMSS {
+		r.OnAck(ack(testMSS))
+	}
+	if r.Cwnd() != 2*start {
+		t.Fatalf("after one slow-start round cwnd = %v, want %v", r.Cwnd(), 2*start)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinearGrowth(t *testing.T) {
+	r := NewReno(testMSS)
+	r.OnEnterRecovery(0, 0) // force out of slow start
+	r.OnExitRecovery(0)
+	cwnd := r.Cwnd()
+	// One full window of ACKs grows cwnd by exactly one MSS.
+	var acked units.ByteCount
+	for acked < cwnd {
+		r.OnAck(ack(testMSS))
+		acked += testMSS
+	}
+	if got := r.Cwnd(); got < cwnd+testMSS || got > cwnd+2*testMSS {
+		t.Fatalf("after one CA round cwnd = %v, want ≈%v", got, cwnd+testMSS)
+	}
+}
+
+func TestRenoHalvingOnRecovery(t *testing.T) {
+	r := NewReno(testMSS)
+	// Grow a bit first.
+	for i := 0; i < 100; i++ {
+		r.OnAck(ack(testMSS))
+	}
+	before := r.Cwnd()
+	r.OnEnterRecovery(0, before)
+	if got := r.Cwnd(); got != before/2 {
+		t.Fatalf("cwnd after MD = %v, want %v", got, before/2)
+	}
+	if r.InSlowStart() {
+		t.Fatal("in slow start right after MD")
+	}
+}
+
+func TestRenoWindowFrozenDuringRecovery(t *testing.T) {
+	r := NewReno(testMSS)
+	r.OnEnterRecovery(0, 0)
+	during := r.Cwnd()
+	for i := 0; i < 50; i++ {
+		r.OnAck(ack(testMSS))
+	}
+	if r.Cwnd() != during {
+		t.Fatalf("cwnd grew during recovery: %v → %v", during, r.Cwnd())
+	}
+	r.OnExitRecovery(0)
+	// One full window of ACKs after exit must grow the window again.
+	for acked := units.ByteCount(0); acked <= during; acked += testMSS {
+		r.OnAck(ack(testMSS))
+	}
+	if r.Cwnd() <= during {
+		t.Fatal("cwnd did not resume growth after recovery exit")
+	}
+}
+
+func TestRenoFloorTwoSegments(t *testing.T) {
+	r := NewReno(testMSS)
+	for i := 0; i < 20; i++ {
+		r.OnEnterRecovery(0, 0)
+		r.OnExitRecovery(0)
+	}
+	if r.Cwnd() != 2*testMSS {
+		t.Fatalf("cwnd floor = %v, want %v", r.Cwnd(), 2*testMSS)
+	}
+}
+
+func TestRenoRTO(t *testing.T) {
+	r := NewReno(testMSS)
+	for i := 0; i < 100; i++ {
+		r.OnAck(ack(testMSS))
+	}
+	before := r.Cwnd()
+	r.OnRTO(0)
+	if r.Cwnd() != testMSS {
+		t.Fatalf("cwnd after RTO = %v, want 1 MSS", r.Cwnd())
+	}
+	if !r.InSlowStart() {
+		t.Fatal("not in slow start after RTO")
+	}
+	// Slow start should stop at half the pre-RTO window.
+	for i := 0; i < 1000; i++ {
+		r.OnAck(ack(testMSS))
+		if !r.InSlowStart() {
+			break
+		}
+	}
+	if got := r.Cwnd(); got != before/2 {
+		t.Fatalf("post-RTO ssthresh plateau = %v, want %v", got, before/2)
+	}
+}
+
+func TestRenoIgnoresZeroByteAcks(t *testing.T) {
+	r := NewReno(testMSS)
+	before := r.Cwnd()
+	r.OnAck(AckEvent{AckedBytes: 0})
+	if r.Cwnd() != before {
+		t.Fatal("zero-byte ACK changed cwnd")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"reno", "newreno", "cubic", "bbr"} {
+		f, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		c := f(testMSS, sim.NewRNG(1))
+		if c.Cwnd() <= 0 {
+			t.Fatalf("%s: non-positive initial cwnd", name)
+		}
+	}
+	if _, ok := ByName("copa"); ok {
+		t.Fatal("unknown CCA resolved")
+	}
+}

@@ -1,0 +1,141 @@
+package cca
+
+import (
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// Vegas constants (Brakmo & Peterson 1994; Linux tcp_vegas defaults).
+const (
+	vegasAlpha = 2 // lower bound on queued segments
+	vegasBeta  = 4 // upper bound on queued segments
+	vegasGamma = 1 // slow-start exit threshold
+)
+
+// Vegas implements TCP Vegas (Brakmo, O'Malley, Peterson 1994), the
+// classic delay-based CCA the paper cites among the deployed
+// algorithms. Vegas estimates how many of its own segments are queued
+// at the bottleneck — Diff = cwnd·(1 − baseRTT/RTT) — and steers the
+// window to keep Diff between α and β segments, backing off before
+// loss rather than in response to it.
+//
+// Vegas is included as an extension beyond the paper's three measured
+// CCAs: a delay-based endpoint makes the at-scale harness useful for
+// studying how delay-based flows fare against the queue-filling
+// algorithms the paper measures (they famously starve — the reason the
+// paper's candidates are what they are).
+type Vegas struct {
+	mss units.ByteCount
+
+	cwnd     units.ByteCount
+	ssthresh units.ByteCount
+
+	// Per-round state: Vegas adjusts once per round trip using the
+	// round's minimum RTT sample.
+	roundMinRTT sim.Time
+	inSlowStart bool
+	evenRound   bool // slow start grows every other round
+
+	inRecovery bool
+}
+
+// NewVegas returns a Vegas controller with the standard initial window.
+func NewVegas(mss units.ByteCount) *Vegas {
+	return &Vegas{
+		mss:         mss,
+		cwnd:        InitialCwndSegments * mss,
+		ssthresh:    units.ByteCount(1) << 40,
+		inSlowStart: true,
+	}
+}
+
+// Name implements CCA.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Cwnd implements CCA.
+func (v *Vegas) Cwnd() units.ByteCount { return v.cwnd }
+
+// PacingRate implements CCA: Vegas is ACK-clocked.
+func (v *Vegas) PacingRate() units.Bandwidth { return 0 }
+
+// InSlowStart reports whether Vegas is still in its modified slow
+// start.
+func (v *Vegas) InSlowStart() bool { return v.inSlowStart }
+
+// OnAck implements CCA: collect the round's best RTT sample and adjust
+// the window once per round.
+func (v *Vegas) OnAck(ev AckEvent) {
+	if v.inRecovery {
+		return
+	}
+	if ev.RTT > 0 && (v.roundMinRTT == 0 || ev.RTT < v.roundMinRTT) {
+		v.roundMinRTT = ev.RTT
+	}
+	if !ev.RoundStart {
+		return
+	}
+	rtt := v.roundMinRTT
+	v.roundMinRTT = 0
+	base := ev.MinRTT
+	if rtt <= 0 || base <= 0 {
+		return
+	}
+
+	// Diff: segments of our own data sitting in queues.
+	cwndSeg := float64(v.cwnd) / float64(v.mss)
+	diff := cwndSeg * (1 - float64(base)/float64(rtt))
+
+	if v.inSlowStart {
+		if diff > vegasGamma {
+			// Queue building: leave slow start and trim the excess.
+			v.inSlowStart = false
+			v.cwnd -= units.ByteCount(diff) * v.mss / 2
+			v.clampFloor()
+			v.ssthresh = v.cwnd
+			return
+		}
+		// Grow every other round (Vegas's cautious doubling).
+		v.evenRound = !v.evenRound
+		if v.evenRound {
+			v.cwnd *= 2
+		}
+		return
+	}
+
+	switch {
+	case diff < vegasAlpha:
+		v.cwnd += v.mss
+	case diff > vegasBeta:
+		v.cwnd -= v.mss
+		v.clampFloor()
+	}
+}
+
+// OnEnterRecovery implements CCA: Vegas treats a fast retransmit as a
+// mild signal (window to 3/4) since its delay control usually prevents
+// queue overflow.
+func (v *Vegas) OnEnterRecovery(_ sim.Time, _ units.ByteCount) {
+	v.cwnd = v.cwnd * 3 / 4
+	v.clampFloor()
+	v.ssthresh = v.cwnd
+	v.inSlowStart = false
+	v.inRecovery = true
+}
+
+// OnExitRecovery implements CCA.
+func (v *Vegas) OnExitRecovery(_ sim.Time) { v.inRecovery = false }
+
+// OnRTO implements CCA.
+func (v *Vegas) OnRTO(_ sim.Time) {
+	v.ssthresh = maxBytes(v.cwnd/2, 2*v.mss)
+	v.cwnd = v.mss
+	v.inSlowStart = true
+	v.evenRound = false
+	v.inRecovery = false
+}
+
+func (v *Vegas) clampFloor() {
+	if v.cwnd < 2*v.mss {
+		v.cwnd = 2 * v.mss
+	}
+}

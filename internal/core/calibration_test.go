@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ccatscale/internal/mathis"
+	"ccatscale/internal/padhye"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// TestMathisCalibrationUnderBernoulliLoss validates the whole stack
+// against the Mathis model in the regime the model was derived for:
+// a single NewReno flow, independent random loss, no queueing. The
+// classic constant for delayed-ACK NewReno is C = √(3/(2b)) ≈ 0.87
+// (b = 2); with stretch ACKs and byte counting implementations land
+// between ≈0.7 and ≈1.3. This is the calibration anchor for all the §4
+// experiments.
+func TestMathisCalibrationUnderBernoulliLoss(t *testing.T) {
+	const lossProb = 0.005
+	rtt := 40 * sim.Millisecond
+	cfg := RunConfig{
+		Rate:       100 * units.MbitPerSec, // never the bottleneck
+		Buffer:     10 * units.MB,
+		Flows:      []FlowSpec{{CCA: "reno", RTT: rtt}},
+		Warmup:     10 * sim.Second,
+		Duration:   120 * sim.Second,
+		Seed:       3,
+		RandomLoss: lossProb,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if res.RandomDrops == 0 {
+		t.Fatal("no random drops despite configured loss")
+	}
+	if res.Utilization > 0.9 {
+		t.Fatalf("link saturated (util %v): calibration needs loss-limited flow", res.Utilization)
+	}
+	// The flow must be loss-limited well below line rate.
+	measured := f.Goodput.BytesPerSec()
+	sample := mathis.Sample{P: lossProb, RTTSeconds: f.MeanRTT.Seconds(), MSSBytes: float64(units.MSS)}
+	implThroughput := func(c float64) float64 { return mathis.Predict(c, sample) }
+	cLow, cHigh := implThroughput(0.6), implThroughput(1.6)
+	if measured < cLow || measured > cHigh {
+		t.Fatalf("measured %v outside Mathis band [%v, %v] (C in [0.6, 1.6]); implied C = %v",
+			measured, cLow, cHigh, measured/implThroughput(1))
+	}
+	// PFTK with the same parameters should also be within a factor ~2
+	// at this low loss.
+	pftk := padhye.Throughput(padhye.Params{
+		MSSBytes:   float64(units.MSS),
+		RTTSeconds: f.MeanRTT.Seconds(),
+	}, lossProb)
+	ratio := measured / pftk
+	if ratio < 0.5 || ratio > 3 {
+		t.Fatalf("measured/PFTK = %v, want within [0.5, 3]", ratio)
+	}
+	_ = math.Sqrt // doc anchor
+}
+
+// TestJitterDoesNotBreakTransport checks the transport tolerates mild
+// netem jitter (sub-reordering-threshold) without collapse.
+func TestJitterDoesNotBreakTransport(t *testing.T) {
+	cfg := RunConfig{
+		Rate:     20 * units.MbitPerSec,
+		Buffer:   units.BDP(20*units.MbitPerSec, 200*sim.Millisecond),
+		Flows:    []FlowSpec{{CCA: "reno", RTT: 20 * sim.Millisecond}},
+		Warmup:   5 * sim.Second,
+		Duration: 20 * sim.Second,
+		Seed:     1,
+		Jitter:   200 * sim.Microsecond,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.AggregateGoodput) < 0.7*float64(cfg.Rate) {
+		t.Fatalf("goodput %v collapsed under mild jitter", res.AggregateGoodput)
+	}
+}
+
+// TestVegasStarvedByReno checks the classic result that motivates the
+// paper's CCA selection: delay-based Vegas backs off as loss-based
+// flows fill the queue, ending far below its fair share.
+func TestVegasStarvedByReno(t *testing.T) {
+	rate := 50 * units.MbitPerSec
+	cfg := RunConfig{
+		Rate:     rate,
+		Buffer:   units.BDP(rate, 200*sim.Millisecond),
+		Flows:    append(UniformFlows(2, "vegas", 20*sim.Millisecond), UniformFlows(2, "reno", 20*sim.Millisecond)...),
+		Warmup:   10 * sim.Second,
+		Duration: 40 * sim.Second,
+		Seed:     5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := res.ShareByCCA()
+	if share["vegas"] > 0.25 {
+		t.Fatalf("vegas share = %v; expected starvation below fair share (0.5)", share["vegas"])
+	}
+	if share["reno"] < 0.7 {
+		t.Fatalf("reno share = %v", share["reno"])
+	}
+}
+
+// TestBBR2SingleFlowKeepsLowQueue checks the v2 design goals on a
+// clean link: full utilization with a small standing queue.
+func TestBBR2SingleFlowKeepsLowQueue(t *testing.T) {
+	rate := 50 * units.MbitPerSec
+	rtt := 20 * sim.Millisecond
+	cfg := RunConfig{
+		Rate:     rate,
+		Buffer:   units.BDP(rate, 200*sim.Millisecond),
+		Flows:    UniformFlows(1, "bbr2", rtt),
+		Warmup:   5 * sim.Second,
+		Duration: 30 * sim.Second,
+		Seed:     1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.AggregateGoodput) < 0.75*float64(rate) {
+		t.Fatalf("bbr2 goodput = %v on %v link", res.AggregateGoodput, rate)
+	}
+	if res.Flows[0].MeanRTT > 4*rtt {
+		t.Fatalf("bbr2 standing queue too deep: meanRTT %v", res.Flows[0].MeanRTT)
+	}
+}
+
+// TestBBR2GentlerThanBBR1VersusReno compares the two generations in
+// the same competition: v2's loss response must leave NewReno a larger
+// share than v1 does.
+func TestBBR2GentlerThanBBR1VersusReno(t *testing.T) {
+	rate := 50 * units.MbitPerSec
+	base := RunConfig{
+		Rate:     rate,
+		Buffer:   units.BDP(rate, 200*sim.Millisecond) * 3 / 2,
+		Warmup:   10 * sim.Second,
+		Duration: 60 * sim.Second,
+		Seed:     3,
+	}
+	v1 := base
+	v1.Flows = append(UniformFlows(2, "bbr", 20*sim.Millisecond), UniformFlows(2, "reno", 20*sim.Millisecond)...)
+	v2 := base
+	v2.Flows = append(UniformFlows(2, "bbr2", 20*sim.Millisecond), UniformFlows(2, "reno", 20*sim.Millisecond)...)
+	r1, err := Run(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renoV1 := r1.ShareByCCA()["reno"]
+	renoV2 := r2.ShareByCCA()["reno"]
+	if renoV2 <= renoV1 {
+		t.Fatalf("reno share vs bbr2 (%v) not above vs bbr1 (%v)", renoV2, renoV1)
+	}
+}
+
+// TestCoDelRemovesStandingQueue runs the AQM extension end-to-end: a
+// saturating NewReno flow over a CoDel bottleneck keeps its RTT near
+// the base RTT (no bufferbloat), where the paper's drop-tail pins the
+// deep buffer full.
+func TestCoDelRemovesStandingQueue(t *testing.T) {
+	rate := 20 * units.MbitPerSec
+	rtt := 20 * sim.Millisecond
+	base := RunConfig{
+		Rate:     rate,
+		Buffer:   units.BDP(rate, 200*sim.Millisecond),
+		Flows:    UniformFlows(2, "reno", rtt),
+		Warmup:   5 * sim.Second,
+		Duration: 30 * sim.Second,
+		Seed:     1,
+	}
+	codel := base
+	codel.AQM = "codel"
+	dt, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Run(codel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Flows[0].MeanRTT < 3*rtt {
+		t.Fatalf("drop-tail meanRTT %v shows no bufferbloat baseline", dt.Flows[0].MeanRTT)
+	}
+	if cd.Flows[0].MeanRTT > 2*rtt {
+		t.Fatalf("CoDel meanRTT %v: standing queue not controlled", cd.Flows[0].MeanRTT)
+	}
+	// Throughput must not collapse under AQM.
+	if float64(cd.AggregateGoodput) < 0.7*float64(rate) {
+		t.Fatalf("CoDel goodput %v", cd.AggregateGoodput)
+	}
+}
+
+// TestUnknownAQMRejected covers config validation.
+func TestUnknownAQMRejected(t *testing.T) {
+	cfg := RunConfig{
+		Rate: units.MbitPerSec, Buffer: units.MB, Duration: sim.Second,
+		Flows: UniformFlows(1, "reno", sim.Millisecond), AQM: "red",
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown AQM accepted")
+	}
+}

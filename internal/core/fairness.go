@@ -1,0 +1,93 @@
+package core
+
+import (
+	"ccatscale/internal/sim"
+)
+
+// FairnessRow is one (flow count, RTT) cell of the fairness figures.
+type FairnessRow struct {
+	Setting   string
+	FlowCount int
+	RTT       sim.Time
+
+	// JFI is Jain's Fairness Index over per-flow goodputs (intra-CCA
+	// figures: Finding 4 and Figure 4).
+	JFI float64
+
+	// Share maps CCA name → fraction of aggregate goodput (inter-CCA
+	// figures 5–8). Empty for single-CCA runs… it is populated there
+	// too, trivially with one entry of 1.
+	Share map[string]float64
+
+	// Utilization and Converged qualify the run.
+	Utilization float64
+	Converged   bool
+}
+
+// IntraCCASweep runs the intra-CCA fairness experiment (all flows one
+// CCA, same RTT) across the setting's flow counts and the given RTTs
+// (Figure 4 for BBR; Finding 4 for NewReno/Cubic).
+func IntraCCASweep(s Setting, ccaName string, rtts []sim.Time, seed uint64, parallelism int) ([]FairnessRow, error) {
+	var cfgs []RunConfig
+	var meta []FairnessRow
+	for _, rtt := range rtts {
+		for _, n := range s.FlowCounts {
+			cfgs = append(cfgs, s.Config(UniformFlows(n, ccaName, rtt), seed+uint64(len(cfgs))))
+			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
+		}
+	}
+	results, err := RunMany(cfgs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		meta[i].JFI = res.JFI()
+		meta[i].Share = res.ShareByCCA()
+		meta[i].Utilization = res.Utilization
+		meta[i].Converged = res.Converged
+	}
+	return meta, nil
+}
+
+// InterCCAMode selects the competition pattern of an inter-CCA sweep.
+type InterCCAMode int
+
+const (
+	// EqualSplit runs a 50/50 mix of the two CCAs (Figures 5 and 8).
+	EqualSplit InterCCAMode = iota
+	// OneVersusMany runs a single flow of CCA A against n−1 flows of
+	// CCA B (Figures 6 and 7).
+	OneVersusMany
+)
+
+// InterCCASweep runs an inter-CCA fairness experiment across the
+// setting's flow counts and the given RTTs. ccaA is the "measured" CCA
+// whose share the figures plot (Cubic in Fig 5, BBR elsewhere).
+func InterCCASweep(s Setting, mode InterCCAMode, ccaA, ccaB string, rtts []sim.Time, seed uint64, parallelism int) ([]FairnessRow, error) {
+	var cfgs []RunConfig
+	var meta []FairnessRow
+	for _, rtt := range rtts {
+		for _, n := range s.FlowCounts {
+			var flows []FlowSpec
+			switch mode {
+			case EqualSplit:
+				flows = MixedFlows(n, ccaA, ccaB, rtt)
+			case OneVersusMany:
+				flows = OneVersusFlows(n, ccaA, ccaB, rtt)
+			}
+			cfgs = append(cfgs, s.Config(flows, seed+uint64(len(cfgs))))
+			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
+		}
+	}
+	results, err := RunMany(cfgs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		meta[i].JFI = res.JFI()
+		meta[i].Share = res.ShareByCCA()
+		meta[i].Utilization = res.Utilization
+		meta[i].Converged = res.Converged
+	}
+	return meta, nil
+}

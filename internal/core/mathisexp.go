@@ -1,0 +1,167 @@
+package core
+
+import (
+	"ccatscale/internal/mathis"
+	"ccatscale/internal/metrics"
+	"ccatscale/internal/sim"
+)
+
+// MathisRow is one (setting, flow count) cell of the paper's §4
+// analysis: the fitted constants of Table 1, the prediction errors of
+// Figure 2, the loss-to-halving ratio of Figure 3, and the drop
+// burstiness score that corroborates Finding 3.
+type MathisRow struct {
+	Setting   string
+	FlowCount int
+
+	// CLoss / CHalve are the least-squares Mathis constants using the
+	// packet loss rate / the CWND halving rate for p (Table 1).
+	CLoss  float64
+	CHalve float64
+
+	// MedianErrLoss / MedianErrHalve are the median relative prediction
+	// errors at the respective fitted constants (Figure 2).
+	MedianErrLoss  float64
+	MedianErrHalve float64
+
+	// LossToHalvingRatio is aggregate drops over aggregate halvings
+	// (Figure 3).
+	LossToHalvingRatio float64
+
+	// DropBurstiness is the Goh–Barabási score of bottleneck drop times
+	// (§4: ≈0.2 edge, ≈0.35 core).
+	DropBurstiness float64
+
+	// Utilization and Converged qualify the run.
+	Utilization float64
+	Converged   bool
+}
+
+// mathisSamples converts flow results into model samples under the
+// chosen p interpretation.
+func mathisSamples(res RunResult, useHalvingRate bool) []mathis.Sample {
+	var out []mathis.Sample
+	for _, f := range res.Flows {
+		p := f.LossRate
+		if useHalvingRate {
+			p = f.HalvingRate
+		}
+		if p <= 0 || f.MeanRTT <= 0 {
+			continue
+		}
+		out = append(out, mathis.Sample{
+			ThroughputBps: f.Goodput.BytesPerSec(),
+			P:             p,
+			RTTSeconds:    f.MeanRTT.Seconds(),
+			MSSBytes:      float64(res.Config.MSS),
+		})
+	}
+	return out
+}
+
+// MathisAnalyze computes a MathisRow from a completed all-NewReno run.
+func MathisAnalyze(setting string, flowCount int, res RunResult) MathisRow {
+	row := MathisRow{
+		Setting:        setting,
+		FlowCount:      flowCount,
+		DropBurstiness: res.DropBurstiness,
+		Utilization:    res.Utilization,
+		Converged:      res.Converged,
+	}
+	if fit, err := mathis.FitAndEvaluate(mathisSamples(res, false)); err == nil {
+		row.CLoss = fit.C
+		row.MedianErrLoss = fit.MedianErr
+	}
+	if fit, err := mathis.FitAndEvaluate(mathisSamples(res, true)); err == nil {
+		row.CHalve = fit.C
+		row.MedianErrHalve = fit.MedianErr
+	}
+	var drops, halvings float64
+	for _, f := range res.Flows {
+		drops += float64(f.Drops)
+		halvings += float64(f.Halvings)
+	}
+	if halvings > 0 {
+		row.LossToHalvingRatio = drops / halvings
+	}
+	return row
+}
+
+// MathisSweep runs the §4 experiment (all NewReno, 20 ms RTT) for every
+// flow count of the setting and returns one row per count.
+func MathisSweep(s Setting, seed uint64, parallelism int) ([]MathisRow, error) {
+	cfgs := make([]RunConfig, len(s.FlowCounts))
+	for i, n := range s.FlowCounts {
+		cfg := s.Config(UniformFlows(n, "reno", DefaultRTT), seed+uint64(i))
+		cfg.MaxDropTimestamps = 1 << 20
+		cfgs[i] = cfg
+	}
+	results, err := RunMany(cfgs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MathisRow, len(results))
+	for i, res := range results {
+		rows[i] = MathisAnalyze(s.Name, s.FlowCounts[i], res)
+	}
+	return rows, nil
+}
+
+// CrossSettingErrors evaluates Figure 2's headline comparison the way
+// the paper frames it: how well does a constant fitted in one place
+// predict throughput elsewhere? It fits C per interpretation on the
+// EdgeScale rows' samples and reports median errors on each CoreScale
+// run. (Within-setting errors are already in each MathisRow.)
+type CrossSettingErrors struct {
+	FlowCount      int
+	ErrLossEdgeC   float64 // CoreScale error using the EdgeScale loss-rate C
+	ErrHalveEdgeC  float64 // CoreScale error using the EdgeScale halving-rate C
+	EdgeCLoss      float64
+	EdgeCHalve     float64
+	MedianErrLossC float64 // CoreScale error with its own refit (= MathisRow value)
+}
+
+// CrossSettingAnalysis fits constants on an EdgeScale run and evaluates
+// them on each CoreScale run.
+func CrossSettingAnalysis(edge RunResult, core []RunResult, coreCounts []int) []CrossSettingErrors {
+	var cLossEdge, cHalveEdge float64
+	if fit, err := mathis.FitAndEvaluate(mathisSamples(edge, false)); err == nil {
+		cLossEdge = fit.C
+	}
+	if fit, err := mathis.FitAndEvaluate(mathisSamples(edge, true)); err == nil {
+		cHalveEdge = fit.C
+	}
+	out := make([]CrossSettingErrors, len(core))
+	for i, res := range core {
+		e := CrossSettingErrors{
+			FlowCount:  coreCounts[i],
+			EdgeCLoss:  cLossEdge,
+			EdgeCHalve: cHalveEdge,
+		}
+		e.ErrLossEdgeC = mathis.MedianError(cLossEdge, mathisSamples(res, false))
+		e.ErrHalveEdgeC = mathis.MedianError(cHalveEdge, mathisSamples(res, true))
+		if fit, err := mathis.FitAndEvaluate(mathisSamples(res, false)); err == nil {
+			e.MedianErrLossC = fit.MedianErr
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// MedianFlowRTT returns the median of per-flow mean RTTs in seconds
+// (diagnostic for the Mathis analysis).
+func MedianFlowRTT(res RunResult) float64 {
+	var rtts []float64
+	for _, f := range res.Flows {
+		if f.MeanRTT > 0 {
+			rtts = append(rtts, f.MeanRTT.Seconds())
+		}
+	}
+	return metrics.Median(rtts)
+}
+
+// ScaleRTT converts the paper's 20 ms default to another value for
+// sensitivity sweeps.
+func ScaleRTT(base sim.Time, factor float64) sim.Time {
+	return sim.Time(float64(base) * factor)
+}

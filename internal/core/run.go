@@ -1,0 +1,511 @@
+// Package core is the paper's contribution rebuilt as a library: the
+// at-scale congestion-control evaluation harness. It wires the netem
+// substrate, tcp transport, and cca algorithms into the dumbbell
+// methodology of §3.2 — N infinite flows with staggered starts over one
+// drop-tail bottleneck, a warm-up exclusion window, an optional
+// convergence-based early stop — and computes every metric the paper's
+// tables and figures report.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ccatscale/internal/cca"
+	"ccatscale/internal/metrics"
+	"ccatscale/internal/netem"
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/tcp"
+	"ccatscale/internal/trace"
+	"ccatscale/internal/units"
+)
+
+// FlowSpec describes one flow of a run.
+type FlowSpec struct {
+	// CCA is the congestion control algorithm name ("reno", "cubic",
+	// "bbr").
+	CCA string
+	// RTT is the flow's base round-trip time.
+	RTT sim.Time
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	// Rate is the bottleneck bandwidth.
+	Rate units.Bandwidth
+	// Buffer is the drop-tail queue capacity.
+	Buffer units.ByteCount
+	// Flows lists every flow.
+	Flows []FlowSpec
+	// Warmup is excluded from all metrics (the paper ignores the first
+	// five minutes).
+	Warmup sim.Time
+	// Duration is the measurement window after warm-up.
+	Duration sim.Time
+	// Stagger is the start-time window: each flow begins at a uniform
+	// random offset in [0, Stagger) (the paper uses 0–2 minutes).
+	Stagger sim.Time
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// MSS defaults to units.MSS when zero.
+	MSS units.ByteCount
+	// DelAckDelay is the delayed-ACK timeout; 0 picks the default
+	// (tcp.DelayedAckTimeout); negative disables delayed ACKs.
+	DelAckDelay sim.Time
+	// GROWindow is the receive-offload coalescing gap; 0 picks the
+	// default (tcp.GROWindow, modeling the testbed's GRO + interrupt
+	// coalescing); negative disables receive offload.
+	GROWindow sim.Time
+	// RandomLoss applies independent per-packet loss on the forward
+	// path (netem-style). The paper's runs use 0 ("there is no random
+	// loss"); calibration experiments use it to validate the Mathis
+	// constant under the model's own independent-loss assumption.
+	RandomLoss float64
+	// Jitter adds uniform random delay in [0, Jitter) per data packet
+	// on the forward path (netem-style).
+	Jitter sim.Time
+	// Converge, when positive, enables the paper's early-stop rule:
+	// the run ends once aggregate goodput changes by less than
+	// ConvergeTolerance across consecutive windows of this length.
+	Converge sim.Time
+	// ConvergeTolerance defaults to 0.01 (1 %).
+	ConvergeTolerance float64
+	// MaxDropTimestamps bounds the retained drop-time list for
+	// burstiness (0 = keep all).
+	MaxDropTimestamps int
+	// SeriesInterval, when positive, samples per-CCA aggregate goodput
+	// at this period; the series is retained in RunResult.Series.
+	SeriesInterval sim.Time
+	// AQM selects the bottleneck discipline ("" or "droptail" = the
+	// paper's drop-tail; "codel" = RFC 8289 CoDel, an extension axis).
+	AQM string
+}
+
+func (c *RunConfig) withDefaults() RunConfig {
+	out := *c
+	if out.MSS <= 0 {
+		out.MSS = units.MSS
+	}
+	if out.DelAckDelay == 0 {
+		out.DelAckDelay = tcp.DelayedAckTimeout
+	}
+	if out.DelAckDelay < 0 {
+		out.DelAckDelay = 0
+	}
+	if out.GROWindow == 0 {
+		out.GROWindow = tcp.GROWindow
+	}
+	if out.GROWindow < 0 {
+		out.GROWindow = 0
+	}
+	if out.ConvergeTolerance <= 0 {
+		out.ConvergeTolerance = 0.01
+	}
+	return out
+}
+
+func (c *RunConfig) validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("core: non-positive bottleneck rate")
+	}
+	if c.Buffer <= 0 {
+		return fmt.Errorf("core: non-positive buffer")
+	}
+	if len(c.Flows) == 0 {
+		return fmt.Errorf("core: no flows")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: non-positive duration")
+	}
+	switch c.AQM {
+	case "", "droptail", "codel":
+	default:
+		return fmt.Errorf("core: unknown AQM %q", c.AQM)
+	}
+	for i, f := range c.Flows {
+		if f.RTT <= 0 {
+			return fmt.Errorf("core: flow %d has non-positive RTT", i)
+		}
+		if _, ok := cca.ByName(f.CCA); !ok {
+			return fmt.Errorf("core: flow %d has unknown CCA %q", i, f.CCA)
+		}
+	}
+	return nil
+}
+
+// FlowResult holds one flow's measurement-window metrics.
+type FlowResult struct {
+	Spec FlowSpec
+
+	// GoodputBps is in-order delivered bytes per second over the
+	// window, in bits/sec.
+	Goodput units.Bandwidth
+
+	// SegmentsSent counts transmissions (including retransmissions)
+	// during the window.
+	SegmentsSent uint64
+	// SegmentsDelivered counts segments first delivered during the
+	// window.
+	SegmentsDelivered uint64
+	// Drops counts this flow's bottleneck tail drops during the window.
+	Drops uint64
+	// Halvings counts multiplicative-decrease episodes (fast recoveries
+	// + RTOs) during the window — the tcpprobe-derived quantity.
+	Halvings uint64
+	// FastRecoveries and RTOs break Halvings down by trigger.
+	FastRecoveries uint64
+	RTOs           uint64
+	// Retransmissions during the window.
+	Retransmissions uint64
+
+	// LossRate is Drops / SegmentsSent (the network-measured p).
+	LossRate float64
+	// HalvingRate is Halvings / SegmentsDelivered (the end-host p).
+	HalvingRate float64
+
+	// MeanRTT and MinRTT summarize the flow's window RTT samples.
+	MeanRTT sim.Time
+	MinRTT  sim.Time
+}
+
+// RunResult aggregates one run.
+type RunResult struct {
+	Config RunConfig
+	Flows  []FlowResult
+
+	// Window is the realized measurement window (shorter than
+	// Config.Duration when the convergence rule stopped the run).
+	Window sim.Time
+	// Converged reports whether the early-stop rule fired.
+	Converged bool
+
+	// AggregateGoodput sums flow goodputs.
+	AggregateGoodput units.Bandwidth
+	// Utilization is bottleneck busy fraction over the whole run.
+	Utilization float64
+	// TotalDrops over the window (bottleneck tail drops).
+	TotalDrops uint64
+	// RandomDrops counts netem-style forward-path losses over the
+	// whole run (0 unless RandomLoss is configured).
+	RandomDrops uint64
+	// DropBurstiness is the Goh–Barabási score over window drop times.
+	DropBurstiness float64
+	// Events is the number of simulator events processed (for
+	// performance reporting).
+	Events uint64
+
+	// SeriesNames and Series hold the per-CCA goodput time series when
+	// SeriesInterval was configured.
+	SeriesNames []string
+	Series      []trace.SeriesPoint
+}
+
+// flowSnap captures the per-flow counters at the warm-up boundary.
+type flowSnap struct {
+	delivered   units.ByteCount
+	sent        uint64
+	retrans     uint64
+	recoveries  uint64
+	rtos        uint64
+	drops       uint64
+	rttSum      sim.Time
+	rttCount    uint64
+	deliveredTx units.ByteCount // sender-side delivered counter
+}
+
+// Run executes one experiment and returns its results.
+func Run(cfg RunConfig) (RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return RunResult{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+
+	qlog := trace.NewQueueLog(cfg.MaxDropTimestamps)
+	qlog.SetWindowStart(cfg.Warmup)
+
+	rtts := make([]sim.Time, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		rtts[i] = f.RTT
+	}
+	discipline := netem.DropTail
+	if cfg.AQM == "codel" {
+		discipline = netem.CoDel
+	}
+	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
+		Rate:       cfg.Rate,
+		Buffer:     cfg.Buffer,
+		RTT:        rtts,
+		OnDrop:     qlog.OnDrop,
+		Discipline: discipline,
+	})
+
+	senders := make([]*tcp.Sender, len(cfg.Flows))
+	receivers := make([]*tcp.Receiver, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		factory, _ := cca.ByName(f.CCA)
+		ctrl := factory(cfg.MSS, rng.Split())
+		senders[i] = tcp.NewSender(eng, int32(i), tcp.Config{
+			MSS:    cfg.MSS,
+			CCA:    ctrl,
+			Output: db.SendData,
+		})
+		receivers[i] = tcp.NewReceiver(eng, int32(i), tcp.ReceiverConfig{
+			DelAckDelay: cfg.DelAckDelay,
+			GROWindow:   cfg.GROWindow,
+		}, db.SendAck)
+	}
+	toReceiver := func(p packet.Packet) { receivers[p.Flow].OnData(p) }
+	var randomDrops uint64
+	if cfg.RandomLoss > 0 || cfg.Jitter > 0 {
+		imp := netem.NewImpairment(eng, rng.Split(), netem.ImpairmentConfig{
+			LossProb: cfg.RandomLoss,
+			Jitter:   cfg.Jitter,
+			OnDrop:   func(sim.Time, packet.Packet) { randomDrops++ },
+		}, toReceiver)
+		toReceiver = imp.Send
+	}
+	db.SetEndpoints(
+		toReceiver,
+		func(p packet.Packet) { senders[p.Flow].OnAck(p) },
+	)
+	for _, s := range senders {
+		s.Start(rng.Dur(cfg.Stagger))
+	}
+
+	// Optional per-CCA goodput time series.
+	var series *trace.ThroughputSeries
+	var seriesNames []string
+	if cfg.SeriesInterval > 0 {
+		seen := map[string]int{}
+		for _, f := range cfg.Flows {
+			if _, ok := seen[f.CCA]; !ok {
+				seen[f.CCA] = len(seriesNames)
+				seriesNames = append(seriesNames, f.CCA)
+			}
+		}
+		series = trace.NewThroughputSeries(eng, cfg.SeriesInterval, seriesNames,
+			func() []units.ByteCount {
+				out := make([]units.ByteCount, len(seriesNames))
+				for i, f := range cfg.Flows {
+					out[seen[f.CCA]] += receivers[i].Stats().Delivered
+				}
+				return out
+			}, true, nil)
+		series.Start(0)
+	}
+
+	// Warm-up boundary snapshot.
+	snaps := make([]flowSnap, len(cfg.Flows))
+	eng.Schedule(cfg.Warmup, func() {
+		for i := range cfg.Flows {
+			snaps[i] = snapshot(senders[i], receivers[i], qlog, int32(i))
+		}
+	})
+
+	// Convergence early stop on aggregate goodput.
+	end := cfg.Warmup + cfg.Duration
+	converged := false
+	if cfg.Converge > 0 {
+		var prevRate float64
+		var prevDelivered units.ByteCount
+		var check func()
+		check = func() {
+			var total units.ByteCount
+			for _, r := range receivers {
+				total += r.Stats().Delivered
+			}
+			rate := float64(total-prevDelivered) / cfg.Converge.Seconds()
+			if prevRate > 0 {
+				diff := rate - prevRate
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff/prevRate < cfg.ConvergeTolerance {
+					converged = true
+					eng.Stop()
+					return
+				}
+			}
+			prevRate = rate
+			prevDelivered = total
+			if eng.Now()+cfg.Converge <= end {
+				eng.After(cfg.Converge, check)
+			}
+		}
+		eng.Schedule(cfg.Warmup+cfg.Converge, check)
+	}
+
+	stopAt := eng.Run(end)
+	window := stopAt - cfg.Warmup
+	if window <= 0 {
+		return RunResult{}, fmt.Errorf("core: run ended before warm-up completed")
+	}
+
+	res := RunResult{
+		Config:      cfg,
+		Window:      window,
+		Converged:   converged,
+		Utilization: db.Port().Utilization(),
+		Events:      eng.Processed(),
+	}
+	for i := range cfg.Flows {
+		fr := flowResult(cfg, senders[i], receivers[i], qlog, int32(i), snaps[i], window)
+		res.Flows = append(res.Flows, fr)
+		res.AggregateGoodput += fr.Goodput
+		res.TotalDrops += fr.Drops
+	}
+	res.DropBurstiness = metrics.Burstiness(qlog.TimesSeconds())
+	res.RandomDrops = randomDrops
+	if series != nil {
+		res.SeriesNames = seriesNames
+		res.Series = series.Points()
+	}
+	return res, nil
+}
+
+func snapshot(s *tcp.Sender, r *tcp.Receiver, qlog *trace.QueueLog, flow int32) flowSnap {
+	st := s.Stats()
+	return flowSnap{
+		delivered:   r.Stats().Delivered,
+		sent:        st.SegmentsSent,
+		retrans:     st.Retransmissions,
+		recoveries:  st.FastRecoveries,
+		rtos:        st.RTOs,
+		drops:       qlog.Flow(flow),
+		rttSum:      st.MeanRTT * sim.Time(st.RTTSamples),
+		rttCount:    st.RTTSamples,
+		deliveredTx: st.DeliveredBytes,
+	}
+}
+
+func flowResult(cfg RunConfig, s *tcp.Sender, r *tcp.Receiver, qlog *trace.QueueLog, flow int32, snap flowSnap, window sim.Time) FlowResult {
+	st := s.Stats()
+	fr := FlowResult{
+		Spec:            cfg.Flows[flow],
+		SegmentsSent:    st.SegmentsSent - snap.sent,
+		Retransmissions: st.Retransmissions - snap.retrans,
+		FastRecoveries:  st.FastRecoveries - snap.recoveries,
+		RTOs:            st.RTOs - snap.rtos,
+		Drops:           qlog.Flow(flow) - snap.drops,
+		MinRTT:          st.MinRTT,
+	}
+	fr.Halvings = fr.FastRecoveries + fr.RTOs
+	deliveredWindow := r.Stats().Delivered - snap.delivered
+	fr.Goodput = units.Throughput(deliveredWindow, window)
+	deliveredTxWindow := st.DeliveredBytes - snap.deliveredTx
+	fr.SegmentsDelivered = uint64(deliveredTxWindow / cfg.MSS)
+	if fr.SegmentsSent > 0 {
+		fr.LossRate = float64(fr.Drops) / float64(fr.SegmentsSent)
+	}
+	if fr.SegmentsDelivered > 0 {
+		fr.HalvingRate = float64(fr.Halvings) / float64(fr.SegmentsDelivered)
+	}
+	if n := st.RTTSamples - snap.rttCount; n > 0 {
+		fr.MeanRTT = (st.MeanRTT*sim.Time(st.RTTSamples) - snap.rttSum) / sim.Time(n)
+	}
+	return fr
+}
+
+// Goodputs extracts per-flow goodputs as floats (for JFI and shares).
+func (r RunResult) Goodputs() []float64 {
+	out := make([]float64, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = float64(f.Goodput)
+	}
+	return out
+}
+
+// JFI returns Jain's Fairness Index over the run's per-flow goodputs.
+func (r RunResult) JFI() float64 { return metrics.JFI(r.Goodputs()) }
+
+// ShareByCCA returns each CCA's fraction of aggregate goodput.
+func (r RunResult) ShareByCCA() map[string]float64 {
+	totals := map[string]float64{}
+	var sum float64
+	for _, f := range r.Flows {
+		totals[f.Spec.CCA] += float64(f.Goodput)
+		sum += float64(f.Goodput)
+	}
+	if sum == 0 {
+		return totals
+	}
+	for k := range totals {
+		totals[k] /= sum
+	}
+	return totals
+}
+
+// RunMany executes several runs concurrently (each run is internally
+// single-threaded and deterministic) and returns results in input
+// order.
+func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	results := make([]RunResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// UniformFlows builds n flows of the same CCA and RTT.
+func UniformFlows(n int, ccaName string, rtt sim.Time) []FlowSpec {
+	out := make([]FlowSpec, n)
+	for i := range out {
+		out[i] = FlowSpec{CCA: ccaName, RTT: rtt}
+	}
+	return out
+}
+
+// MixedFlows builds a 50/50 interleaved mix of two CCAs at one RTT
+// (odd totals give the extra flow to the first CCA).
+func MixedFlows(n int, ccaA, ccaB string, rtt sim.Time) []FlowSpec {
+	out := make([]FlowSpec, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = FlowSpec{CCA: ccaA, RTT: rtt}
+		} else {
+			out[i] = FlowSpec{CCA: ccaB, RTT: rtt}
+		}
+	}
+	return out
+}
+
+// OneVersusFlows builds one flow of loner plus n−1 flows of crowd.
+func OneVersusFlows(n int, loner, crowd string, rtt sim.Time) []FlowSpec {
+	out := make([]FlowSpec, 0, n)
+	out = append(out, FlowSpec{CCA: loner, RTT: rtt})
+	for i := 1; i < n; i++ {
+		out = append(out, FlowSpec{CCA: crowd, RTT: rtt})
+	}
+	return out
+}
+
+// SortedGoodputs returns the per-flow goodputs in ascending order
+// (useful for distribution reporting).
+func (r RunResult) SortedGoodputs() []float64 {
+	g := r.Goodputs()
+	sort.Float64s(g)
+	return g
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// Setting is one of the paper's two evaluation regimes (§3.1), plus the
+// run-length parameters the methodology prescribes.
+type Setting struct {
+	// Name identifies the regime ("EdgeScale", "CoreScale", …).
+	Name string
+	// Rate is the bottleneck bandwidth.
+	Rate units.Bandwidth
+	// Buffer is the drop-tail capacity (≈1 BDP at 200 ms).
+	Buffer units.ByteCount
+	// FlowCounts are the x-axis points of the figures.
+	FlowCounts []int
+	// Warmup is the excluded start-up period.
+	Warmup sim.Time
+	// Duration is the measurement window after warm-up.
+	Duration sim.Time
+	// Stagger is the random start window.
+	Stagger sim.Time
+	// Converge, when positive, enables the paper's early-stop rule for
+	// every run of the setting: stop once aggregate goodput changes
+	// less than 1 % across consecutive windows of this length. Duration
+	// then acts as the maximum run length, like the paper's 3-hour cap.
+	Converge sim.Time
+	// AQM overrides the bottleneck discipline for every run of the
+	// setting ("" = drop-tail, the paper's configuration).
+	AQM string
+}
+
+// RTTs are the three base round-trip times every fairness figure sweeps.
+var RTTs = []sim.Time{20 * sim.Millisecond, 100 * sim.Millisecond, 200 * sim.Millisecond}
+
+// DefaultRTT is the RTT of the Mathis experiments (§4: "all flows run
+// NewReno and have a 20ms RTT").
+const DefaultRTT = 20 * sim.Millisecond
+
+// EdgeScale is the paper's edge-link regime: 100 Mbps, 3 MB buffer,
+// tens of flows. Run lengths are scaled from the paper's hours to tens
+// of virtual seconds; the paper's own convergence criterion shows the
+// metrics stabilize far earlier than its conservative 3-hour cap.
+func EdgeScale() Setting {
+	return Setting{
+		Name:       "EdgeScale",
+		Rate:       100 * units.MbitPerSec,
+		Buffer:     3 * units.MB,
+		FlowCounts: []int{10, 30, 50},
+		Warmup:     15 * sim.Second,
+		Duration:   60 * sim.Second,
+		Stagger:    5 * sim.Second,
+	}
+}
+
+// CoreScale is the paper's at-scale regime at full fidelity: 10 Gbps,
+// 375 MB buffer, thousands of flows. A full-figure sweep at this
+// setting processes billions of simulator events; use CoreScaleScaled
+// for interactive work and reserve this for --full runs.
+func CoreScale() Setting {
+	return Setting{
+		Name:       "CoreScale",
+		Rate:       10 * units.GbitPerSec,
+		Buffer:     375 * units.MB,
+		FlowCounts: []int{1000, 3000, 5000},
+		Warmup:     30 * sim.Second,
+		Duration:   120 * sim.Second,
+		Stagger:    10 * sim.Second,
+	}
+}
+
+// CoreScaleScaled shrinks CoreScale by the given divisor while holding
+// the two ratios that drive the at-scale phenomena: per-flow bandwidth
+// (2 Mbps/flow) and buffer-to-BDP (≈1 BDP at 200 ms). divisor 10 gives
+// 1 Gbps with 100–500 flows; divisor 50 gives 200 Mbps with 20–100
+// flows (the benchmark tier).
+func CoreScaleScaled(divisor int) Setting {
+	if divisor < 1 {
+		divisor = 1
+	}
+	s := CoreScale()
+	s.Name = fmt.Sprintf("CoreScale/%d", divisor)
+	s.Rate = units.Bandwidth(int64(s.Rate) / int64(divisor))
+	s.Buffer = units.BDP(s.Rate, 200*sim.Millisecond) * 3 / 2 // paper: 375MB = 1.5×BDP(200ms)
+	for i, n := range s.FlowCounts {
+		s.FlowCounts[i] = n / divisor
+	}
+	s.Warmup = 15 * sim.Second
+	s.Duration = 60 * sim.Second
+	s.Stagger = 5 * sim.Second
+	return s
+}
+
+// Config builds a RunConfig for this setting with the given flows and
+// seed.
+func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
+	return RunConfig{
+		Rate:     s.Rate,
+		Buffer:   s.Buffer,
+		Flows:    flows,
+		Warmup:   s.Warmup,
+		Duration: s.Duration,
+		Stagger:  s.Stagger,
+		Converge: s.Converge,
+		AQM:      s.AQM,
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"ccatscale/internal/mathis"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+func sweepSetting() Setting {
+	return Setting{
+		Name:       "sweep-test",
+		Rate:       50 * units.MbitPerSec,
+		Buffer:     units.BDP(50*units.MbitPerSec, 200*sim.Millisecond) * 6 / 5,
+		FlowCounts: []int{4, 8},
+		Warmup:     5 * sim.Second,
+		Duration:   25 * sim.Second,
+		Stagger:    2 * sim.Second,
+	}
+}
+
+func TestMathisSweepProducesRows(t *testing.T) {
+	rows, err := MathisSweep(sweepSetting(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Setting != "sweep-test" {
+			t.Fatalf("setting = %q", r.Setting)
+		}
+		if r.CLoss <= 0 || r.CHalve <= 0 {
+			t.Fatalf("degenerate constants: %+v", r)
+		}
+		if r.CLoss > 10 || r.CHalve > 10 {
+			t.Fatalf("implausible constants: %+v", r)
+		}
+		if r.MedianErrHalve < 0 || r.MedianErrHalve > 1 {
+			t.Fatalf("halving error out of range: %+v", r)
+		}
+		if r.LossToHalvingRatio <= 0 {
+			t.Fatalf("no loss:halving ratio: %+v", r)
+		}
+		if r.Utilization < 0.8 {
+			t.Fatalf("low utilization: %+v", r)
+		}
+	}
+}
+
+func TestMathisAnalyzeEmptyRun(t *testing.T) {
+	// A result with no usable flows must not panic and yields zeroes.
+	row := MathisAnalyze("x", 0, RunResult{Config: RunConfig{MSS: units.MSS}})
+	if row.CLoss != 0 || row.CHalve != 0 || row.LossToHalvingRatio != 0 {
+		t.Fatalf("row = %+v, want zeroes", row)
+	}
+}
+
+func TestIntraCCASweepShape(t *testing.T) {
+	s := sweepSetting()
+	rtts := []sim.Time{20 * sim.Millisecond, 100 * sim.Millisecond}
+	rows, err := IntraCCASweep(s, "reno", rtts, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rtts)*len(s.FlowCounts) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.JFI <= 0 || r.JFI > 1 {
+			t.Fatalf("JFI out of range: %+v", r)
+		}
+		if r.Share["reno"] < 0.999 {
+			t.Fatalf("single-CCA share = %v", r.Share)
+		}
+	}
+}
+
+func TestInterCCASweepModes(t *testing.T) {
+	s := sweepSetting()
+	s.FlowCounts = []int{6}
+	rtts := []sim.Time{20 * sim.Millisecond}
+
+	eq, err := InterCCASweep(s, EqualSplit, "cubic", "reno", rtts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eq[0].Share["cubic"] + eq[0].Share["reno"]; got < 0.999 {
+		t.Fatalf("shares sum = %v", got)
+	}
+
+	// BBR's model needs time to recover from the startup-phase collapse
+	// (its min-RTT glimpse of the empty queue caps the window until the
+	// 10 s filter expires), so the one-vs-many check uses a longer
+	// window than the quick sweeps above.
+	s.Duration = 90 * sim.Second
+	ovm, err := InterCCASweep(s, OneVersusMany, "bbr", "reno", rtts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovm[0].Share["bbr"] <= 0 {
+		t.Fatalf("loner got nothing: %v", ovm[0].Share)
+	}
+	// One BBR flow among six: its share must exceed the 1/6 fair share
+	// (the paper's Finding 6 direction) in this deep-buffer setting.
+	if ovm[0].Share["bbr"] < 1.0/6 {
+		t.Fatalf("bbr share %v below fair share", ovm[0].Share["bbr"])
+	}
+}
+
+func TestCrossSettingAnalysis(t *testing.T) {
+	s := sweepSetting()
+	edgeRes, err := Run(s.Config(UniformFlows(8, "reno", DefaultRTT), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreRes, err := Run(s.Config(UniformFlows(4, "reno", DefaultRTT), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := CrossSettingAnalysis(edgeRes, []RunResult{coreRes}, []int{4})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.EdgeCLoss <= 0 || r.EdgeCHalve <= 0 {
+		t.Fatalf("edge constants missing: %+v", r)
+	}
+	if r.ErrLossEdgeC < 0 || r.ErrHalveEdgeC < 0 {
+		t.Fatalf("negative errors: %+v", r)
+	}
+}
+
+func TestMedianFlowRTT(t *testing.T) {
+	res := RunResult{Flows: []FlowResult{
+		{MeanRTT: 100 * sim.Millisecond},
+		{MeanRTT: 300 * sim.Millisecond},
+		{MeanRTT: 200 * sim.Millisecond},
+		{MeanRTT: 0}, // skipped
+	}}
+	if got := MedianFlowRTT(res); got != 0.2 {
+		t.Fatalf("MedianFlowRTT = %v", got)
+	}
+}
+
+func TestScaleRTT(t *testing.T) {
+	if got := ScaleRTT(20*sim.Millisecond, 2.5); got != 50*sim.Millisecond {
+		t.Fatalf("ScaleRTT = %v", got)
+	}
+}
+
+func TestMathisSamplesRespectInterpretation(t *testing.T) {
+	res := RunResult{
+		Config: RunConfig{MSS: units.MSS},
+		Flows: []FlowResult{{
+			Goodput:     8 * units.MbitPerSec,
+			LossRate:    0.01,
+			HalvingRate: 0.002,
+			MeanRTT:     50 * sim.Millisecond,
+		}},
+	}
+	loss := mathisSamples(res, false)
+	halve := mathisSamples(res, true)
+	if len(loss) != 1 || len(halve) != 1 {
+		t.Fatal("sample extraction failed")
+	}
+	if loss[0].P != 0.01 || halve[0].P != 0.002 {
+		t.Fatalf("p mixup: %v vs %v", loss[0].P, halve[0].P)
+	}
+	// Degenerate flows are skipped.
+	res.Flows[0].LossRate = 0
+	if len(mathisSamples(res, false)) != 0 {
+		t.Fatal("zero-p sample not skipped")
+	}
+	_ = mathis.Sample{}
+}

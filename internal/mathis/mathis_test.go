@@ -1,0 +1,176 @@
+package mathis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictKnownValue(t *testing.T) {
+	// MSS 1448 B, RTT 20 ms, p 0.01, C 1: 1448/(0.02·0.1) = 724000 B/s.
+	s := Sample{P: 0.01, RTTSeconds: 0.02, MSSBytes: 1448}
+	if got := Predict(1, s); math.Abs(got-724000) > 1e-6 {
+		t.Fatalf("Predict = %v, want 724000", got)
+	}
+	// C scales linearly.
+	if got := Predict(0.94, s); math.Abs(got-0.94*724000) > 1e-6 {
+		t.Fatalf("Predict C=0.94 = %v", got)
+	}
+}
+
+func TestPredictInvalidSample(t *testing.T) {
+	if Predict(1, Sample{P: 0, RTTSeconds: 0.02, MSSBytes: 1448}) != 0 {
+		t.Fatal("p=0 should predict 0")
+	}
+	if Predict(1, Sample{P: 0.1, RTTSeconds: 0, MSSBytes: 1448}) != 0 {
+		t.Fatal("rtt=0 should predict 0")
+	}
+}
+
+func TestFitCRecoversSyntheticConstant(t *testing.T) {
+	// Generate samples exactly on the model with C = 1.22 at varying
+	// loss rates and RTTs; the fit must recover C.
+	const trueC = 1.22
+	var samples []Sample
+	for _, p := range []float64{0.0001, 0.001, 0.01, 0.05} {
+		for _, rtt := range []float64{0.02, 0.1, 0.2} {
+			s := Sample{P: p, RTTSeconds: rtt, MSSBytes: 1448}
+			s.ThroughputBps = Predict(trueC, s)
+			samples = append(samples, s)
+		}
+	}
+	c, err := FitC(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-trueC) > 1e-9 {
+		t.Fatalf("FitC = %v, want %v", c, trueC)
+	}
+	if m := MedianError(c, samples); m > 1e-9 {
+		t.Fatalf("median error on exact data = %v", m)
+	}
+}
+
+func TestFitCNoisyDataStillClose(t *testing.T) {
+	const trueC = 0.94
+	var samples []Sample
+	// Deterministic ±20% multiplicative noise.
+	noise := []float64{0.8, 1.2, 0.9, 1.1, 1.0}
+	i := 0
+	for _, p := range []float64{0.0005, 0.002, 0.008, 0.03} {
+		for _, rtt := range []float64{0.02, 0.1, 0.2} {
+			s := Sample{P: p, RTTSeconds: rtt, MSSBytes: 1448}
+			s.ThroughputBps = Predict(trueC, s) * noise[i%len(noise)]
+			i++
+			samples = append(samples, s)
+		}
+	}
+	c, err := FitC(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-trueC)/trueC > 0.15 {
+		t.Fatalf("FitC on noisy data = %v, want ≈%v", c, trueC)
+	}
+}
+
+func TestFitCErrNoSamples(t *testing.T) {
+	if _, err := FitC(nil); err != ErrNoSamples {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+	if _, err := FitC([]Sample{{P: 0}}); err != ErrNoSamples {
+		t.Fatalf("err = %v for degenerate samples", err)
+	}
+}
+
+func TestWrongPInterpretationInflatesError(t *testing.T) {
+	// Core of the paper's Finding 2: if the true congestion-event rate
+	// is p but we fit/predict with 7·p (the loss:halving ratio at
+	// scale), predictions with a constant fit at a DIFFERENT flow count
+	// (different ratio) go wrong. Emulate: fit C on samples built with
+	// ratio 6, evaluate on samples with ratio 9.
+	build := func(ratio float64, pHalve []float64) []Sample {
+		var out []Sample
+		for _, p := range pHalve {
+			s := Sample{P: p * ratio, RTTSeconds: 0.02, MSSBytes: 1448}
+			// True throughput follows the halving rate with C = 1.4.
+			s.ThroughputBps = 1.4 * 1448 / (0.02 * math.Sqrt(p))
+			out = append(out, s)
+		}
+		return out
+	}
+	ps := []float64{0.0005, 0.001, 0.002, 0.004}
+	cFit, err := FitC(build(6, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt9 := MedianError(cFit, build(9, ps))
+	if errAt9 < 0.1 {
+		t.Fatalf("cross-ratio error = %v; expected large model violation", errAt9)
+	}
+	// Whereas fitting and evaluating with the correct rate is exact.
+	correct := func(ps []float64) []Sample {
+		var out []Sample
+		for _, p := range ps {
+			s := Sample{P: p, RTTSeconds: 0.02, MSSBytes: 1448}
+			s.ThroughputBps = 1.4 * 1448 / (0.02 * math.Sqrt(p))
+			out = append(out, s)
+		}
+		return out
+	}
+	cGood, _ := FitC(correct(ps))
+	if e := MedianError(cGood, correct([]float64{0.0007, 0.003})); e > 1e-9 {
+		t.Fatalf("correct-rate error = %v, want 0", e)
+	}
+}
+
+func TestFitAndEvaluate(t *testing.T) {
+	s := Sample{P: 0.01, RTTSeconds: 0.02, MSSBytes: 1448}
+	s.ThroughputBps = Predict(2, s)
+	fit, err := FitAndEvaluate([]Sample{s, {P: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Samples != 1 {
+		t.Fatalf("Samples = %d, want 1", fit.Samples)
+	}
+	if math.Abs(fit.C-2) > 1e-12 || fit.MedianErr > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+// Property: FitC is exact on any consistent synthetic data and
+// scale-invariant in MSS.
+func TestFitCExactnessProperty(t *testing.T) {
+	f := func(rawC uint16, rawPs []uint16) bool {
+		trueC := float64(rawC%300)/100 + 0.1
+		var samples []Sample
+		for _, rp := range rawPs {
+			p := float64(rp%999+1) / 10000
+			s := Sample{P: p, RTTSeconds: 0.05, MSSBytes: 1448}
+			s.ThroughputBps = Predict(trueC, s)
+			samples = append(samples, s)
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		c, err := FitC(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c-trueC) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionErrorsSkipZeroThroughput(t *testing.T) {
+	errs := PredictionErrors(1, []Sample{
+		{P: 0.01, RTTSeconds: 0.02, MSSBytes: 1448, ThroughputBps: 0},
+		{P: 0.01, RTTSeconds: 0.02, MSSBytes: 1448, ThroughputBps: 724000},
+	})
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want single entry", errs)
+	}
+}

@@ -1,0 +1,222 @@
+package netem
+
+import (
+	"math"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// CoDel parameters (RFC 8289 defaults).
+const (
+	// CoDelTarget is the acceptable standing-queue sojourn time.
+	CoDelTarget = 5 * sim.Millisecond
+	// CoDelInterval is the sliding window in which sojourn must dip
+	// below target at least once.
+	CoDelInterval = 100 * sim.Millisecond
+)
+
+// CoDelQueue implements the CoDel AQM (Nichols & Jacobson, RFC 8289)
+// over the same byte-capacity FIFO used for drop-tail: packets carry
+// their enqueue time, and the dequeue path drops from the head at the
+// square-root-spaced control-law rate while the sojourn time stays
+// above target for a full interval.
+//
+// The paper evaluates drop-tail only — the rule for sizing its buffers
+// — but its closing call for at-scale CCA evaluation makes AQM the
+// obvious next axis: CoDel removes the standing queue that both the
+// Mathis-divergence and the BBR findings depend on, and the ablation
+// benchmark quantifies exactly that.
+type CoDelQueue struct {
+	now func() sim.Time
+
+	capacity units.ByteCount
+	bytes    units.ByteCount
+
+	ring    []codelEntry
+	head, n int
+
+	// CoDel control-law state.
+	firstAboveTime sim.Time
+	dropNext       sim.Time
+	count          uint32
+	lastCount      uint32
+	dropping       bool
+
+	enqueued  uint64
+	tailDrops uint64
+	aqmDrops  uint64
+
+	onDrop DropFunc
+}
+
+type codelEntry struct {
+	p  packet.Packet
+	at sim.Time
+}
+
+// NewCoDelQueue creates a CoDel-managed queue of the given byte
+// capacity. now supplies virtual time (the engine's Now). onDrop
+// observes both tail and AQM drops; may be nil.
+func NewCoDelQueue(now func() sim.Time, capacity units.ByteCount, onDrop DropFunc) *CoDelQueue {
+	if capacity <= 0 {
+		panic("netem: non-positive CoDel capacity")
+	}
+	if now == nil {
+		panic("netem: CoDel without clock")
+	}
+	return &CoDelQueue{
+		now:      now,
+		capacity: capacity,
+		ring:     make([]codelEntry, 1024),
+		onDrop:   onDrop,
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (q *CoDelQueue) Capacity() units.ByteCount { return q.capacity }
+
+// Bytes returns current occupancy in wire bytes.
+func (q *CoDelQueue) Bytes() units.ByteCount { return q.bytes }
+
+// Len returns the number of queued packets.
+func (q *CoDelQueue) Len() int { return q.n }
+
+// Enqueued returns accepted packets.
+func (q *CoDelQueue) Enqueued() uint64 { return q.enqueued }
+
+// TailDrops returns drops due to a full buffer.
+func (q *CoDelQueue) TailDrops() uint64 { return q.tailDrops }
+
+// AQMDrops returns drops made by the CoDel control law.
+func (q *CoDelQueue) AQMDrops() uint64 { return q.aqmDrops }
+
+// Push appends a packet or tail-drops it when the buffer is full (CoDel
+// still needs a hard byte limit; with the control law active it should
+// rarely be hit).
+func (q *CoDelQueue) Push(p packet.Packet) bool {
+	wire := p.WireBytes()
+	if q.bytes+wire > q.capacity {
+		q.tailDrops++
+		if q.onDrop != nil {
+			q.onDrop(q.now(), p)
+		}
+		return false
+	}
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = codelEntry{p: p, at: q.now()}
+	q.n++
+	q.bytes += wire
+	q.enqueued++
+	return true
+}
+
+func (q *CoDelQueue) grow() {
+	bigger := make([]codelEntry, 2*len(q.ring))
+	for i := 0; i < q.n; i++ {
+		bigger[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = bigger
+	q.head = 0
+}
+
+func (q *CoDelQueue) popHead() (codelEntry, bool) {
+	if q.n == 0 {
+		return codelEntry{}, false
+	}
+	e := q.ring[q.head]
+	q.ring[q.head] = codelEntry{}
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	q.bytes -= e.p.WireBytes()
+	return e, true
+}
+
+// doDequeue implements the RFC 8289 dodeque() helper: pop one packet
+// and report whether its sojourn stayed above target long enough to
+// arm/keep the dropping state.
+func (q *CoDelQueue) doDequeue(now sim.Time) (codelEntry, bool, bool) {
+	e, ok := q.popHead()
+	if !ok {
+		q.firstAboveTime = 0
+		return e, false, false
+	}
+	sojourn := now - e.at
+	if sojourn < CoDelTarget || q.bytes <= 1518 {
+		// Below target (or queue nearly empty): leave dropping state
+		// eligibility.
+		q.firstAboveTime = 0
+		return e, true, false
+	}
+	if q.firstAboveTime == 0 {
+		q.firstAboveTime = now + CoDelInterval
+		return e, true, false
+	}
+	return e, true, now >= q.firstAboveTime
+}
+
+// controlLaw spaces drops by interval/√count.
+func (q *CoDelQueue) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(CoDelInterval)/math.Sqrt(float64(q.count)))
+}
+
+// Pop dequeues the next deliverable packet, applying the CoDel drop
+// law; it returns false when the queue is empty (possibly after
+// dropping stragglers).
+func (q *CoDelQueue) Pop() (packet.Packet, bool) {
+	now := q.now()
+	e, ok, okToDrop := q.doDequeue(now)
+	if !ok {
+		q.dropping = false
+		return packet.Packet{}, false
+	}
+	if q.dropping {
+		if !okToDrop {
+			q.dropping = false
+		} else {
+			for now >= q.dropNext && q.dropping {
+				q.dropPacket(e.p, now)
+				q.count++
+				e, ok, okToDrop = q.doDequeue(now)
+				if !ok {
+					q.dropping = false
+					return packet.Packet{}, false
+				}
+				if !okToDrop {
+					q.dropping = false
+				} else {
+					q.dropNext = q.controlLaw(q.dropNext)
+				}
+			}
+		}
+	} else if okToDrop {
+		q.dropPacket(e.p, now)
+		q.dropping = true
+		// Resume drop spacing near the previous rate if we were
+		// dropping recently (RFC 8289 §5.4).
+		delta := q.count - q.lastCount
+		if delta > 1 && now-q.dropNext < 16*CoDelInterval {
+			q.count = delta
+		} else {
+			q.count = 1
+		}
+		q.lastCount = q.count
+		q.dropNext = q.controlLaw(now)
+		e, ok, _ = q.doDequeue(now)
+		if !ok {
+			q.dropping = false
+			return packet.Packet{}, false
+		}
+	}
+	return e.p, true
+}
+
+func (q *CoDelQueue) dropPacket(p packet.Packet, now sim.Time) {
+	q.aqmDrops++
+	if q.onDrop != nil {
+		q.onDrop(now, p)
+	}
+}

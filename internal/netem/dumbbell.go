@@ -1,0 +1,124 @@
+package netem
+
+import (
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// fwdPropDelay is the fixed sender→receiver propagation component. The
+// paper installs the entire base RTT with netem at the receiver side, so
+// the forward path carries only a token propagation delay and the
+// remainder rides the ACK return path. Where the delay sits is
+// immaterial to the sender, which only ever observes the sum.
+const fwdPropDelay = 5 * sim.Microsecond
+
+// Dumbbell is the experiment topology (paper Figure 1): all senders feed
+// one bottleneck port; delivered segments reach per-flow receivers after
+// a short forward propagation delay; ACKs return over an uncongested
+// reverse path that carries the per-flow base RTT.
+//
+// The 25 Gbps edge links of the physical testbed exist to guarantee that
+// congestion happens only at the switch; the simulation gets that
+// guarantee by construction, so edge serialization is not modeled (its
+// per-segment contribution at 25 Gbps, ~0.5 µs, is three orders of
+// magnitude below the base RTTs studied).
+type Dumbbell struct {
+	eng  *sim.Engine
+	port *Port
+
+	revDelay []sim.Time
+
+	toReceiver Sink
+	toSender   Sink
+}
+
+// AQM selects the bottleneck queue discipline.
+type AQM int
+
+const (
+	// DropTail is the paper's configuration.
+	DropTail AQM = iota
+	// CoDel applies RFC 8289 active queue management (an extension
+	// axis beyond the paper).
+	CoDel
+)
+
+// DumbbellConfig describes a dumbbell instance.
+type DumbbellConfig struct {
+	// Rate is the bottleneck line rate.
+	Rate units.Bandwidth
+	// Buffer is the bottleneck queue capacity in bytes.
+	Buffer units.ByteCount
+	// RTT holds each flow's base round-trip time, indexed by flow ID.
+	RTT []sim.Time
+	// OnDrop observes bottleneck drops (tail and AQM); may be nil.
+	OnDrop DropFunc
+	// Discipline selects the queueing discipline (default DropTail).
+	Discipline AQM
+}
+
+// NewDumbbell wires the topology. Endpoint sinks must be attached with
+// SetEndpoints before traffic flows.
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	d := &Dumbbell{
+		eng:      eng,
+		revDelay: make([]sim.Time, len(cfg.RTT)),
+	}
+	for i, rtt := range cfg.RTT {
+		if rtt <= 0 {
+			panic("netem: flow with non-positive base RTT")
+		}
+		rev := rtt - fwdPropDelay
+		if rev < 0 {
+			rev = 0
+		}
+		d.revDelay[i] = rev
+	}
+	switch cfg.Discipline {
+	case CoDel:
+		// The CoDel queue reports its own drops (both tail and AQM), so
+		// the port's tail-drop callback stays unset to avoid double
+		// counting.
+		queue := NewCoDelQueue(eng.Now, cfg.Buffer, cfg.OnDrop)
+		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, nil)
+	default:
+		queue := NewDropTailQueue(cfg.Buffer)
+		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, cfg.OnDrop)
+	}
+	return d
+}
+
+// SetEndpoints attaches the demultiplexed delivery sinks: toReceiver
+// gets data segments at their receiver-arrival times, toSender gets ACKs
+// at their sender-arrival times. Both dispatch on Packet.Flow.
+func (d *Dumbbell) SetEndpoints(toReceiver, toSender Sink) {
+	d.toReceiver = toReceiver
+	d.toSender = toSender
+}
+
+// Port exposes the bottleneck port for statistics.
+func (d *Dumbbell) Port() *Port { return d.port }
+
+// Flows returns the number of configured flows.
+func (d *Dumbbell) Flows() int { return len(d.revDelay) }
+
+// SendData is the sender-side entry point: the segment heads into the
+// bottleneck.
+func (d *Dumbbell) SendData(p packet.Packet) {
+	d.port.Send(p)
+}
+
+// deliverData is invoked by the port when a segment finishes
+// serialization; it completes the forward path.
+func (d *Dumbbell) deliverData(p packet.Packet) {
+	d.eng.After(fwdPropDelay, func() { d.toReceiver(p) })
+}
+
+// SendAck is the receiver-side entry point: the ACK returns to the
+// sender over the uncongested reverse path after the flow's base-RTT
+// delay.
+func (d *Dumbbell) SendAck(p packet.Packet) {
+	delay := d.revDelay[p.Flow]
+	d.eng.After(delay, func() { d.toSender(p) })
+}

@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// Sink consumes packets at their delivery time.
+type Sink func(p packet.Packet)
+
+// DropFunc observes a tail drop at the moment it happens.
+type DropFunc func(now sim.Time, p packet.Packet)
+
+// Queue is the buffering discipline a Port drains: drop-tail
+// (DropTailQueue, the paper's configuration) or an AQM (CoDelQueue).
+// Push reports acceptance; Pop may apply dequeue-side policy (CoDel
+// head drops) before yielding the next deliverable packet.
+type Queue interface {
+	Push(p packet.Packet) bool
+	Pop() (packet.Packet, bool)
+	Bytes() units.ByteCount
+	Len() int
+	Capacity() units.ByteCount
+}
+
+// Port models a store-and-forward output port: packets are accepted into
+// a queue and serialized one at a time at the configured line rate, then
+// handed to the downstream sink. Together with DropTailQueue it is the
+// simulated equivalent of the paper's BESS bottleneck port.
+type Port struct {
+	eng    *sim.Engine
+	rate   units.Bandwidth
+	queue  Queue
+	out    Sink
+	onDrop DropFunc
+
+	busy bool
+
+	// busySince/busyTotal track utilization: the fraction of virtual
+	// time the port spent transmitting.
+	busySince sim.Time
+	busyTotal sim.Time
+
+	txBytes   units.ByteCount
+	txPackets uint64
+}
+
+// NewPort creates a port draining queue at rate, delivering into out.
+// onDrop may be nil.
+func NewPort(eng *sim.Engine, rate units.Bandwidth, queue Queue, out Sink, onDrop DropFunc) *Port {
+	if rate <= 0 {
+		panic("netem: non-positive port rate")
+	}
+	if out == nil {
+		panic("netem: port without sink")
+	}
+	return &Port{eng: eng, rate: rate, queue: queue, out: out, onDrop: onDrop}
+}
+
+// Rate returns the configured line rate.
+func (p *Port) Rate() units.Bandwidth { return p.rate }
+
+// Queue returns the attached queue.
+func (p *Port) Queue() Queue { return p.queue }
+
+// TxBytes returns cumulative wire bytes transmitted.
+func (p *Port) TxBytes() units.ByteCount { return p.txBytes }
+
+// TxPackets returns cumulative packets transmitted.
+func (p *Port) TxPackets() uint64 { return p.txPackets }
+
+// Utilization returns the fraction of the window [0, now] the port spent
+// transmitting.
+func (p *Port) Utilization() float64 {
+	total := p.busyTotal
+	if p.busy {
+		total += p.eng.Now() - p.busySince
+	}
+	if p.eng.Now() == 0 {
+		return 0
+	}
+	return float64(total) / float64(p.eng.Now())
+}
+
+// Send offers a packet to the port. If the port is idle and the queue
+// empty the packet goes straight to the wire; otherwise it joins the
+// queue, or is tail-dropped when the buffer is full.
+func (p *Port) Send(pkt packet.Packet) {
+	if !p.busy && p.queue.Len() == 0 {
+		p.transmit(pkt)
+		return
+	}
+	if !p.queue.Push(pkt) {
+		if p.onDrop != nil {
+			p.onDrop(p.eng.Now(), pkt)
+		}
+	}
+}
+
+// transmit puts pkt on the wire and schedules its completion.
+func (p *Port) transmit(pkt packet.Packet) {
+	p.busy = true
+	p.busySince = p.eng.Now()
+	done := p.rate.TransmissionTime(pkt.WireBytes())
+	p.eng.After(done, func() { p.txDone(pkt) })
+}
+
+func (p *Port) txDone(pkt packet.Packet) {
+	p.busyTotal += p.eng.Now() - p.busySince
+	p.busy = false
+	p.txBytes += pkt.WireBytes()
+	p.txPackets++
+	if next, ok := p.queue.Pop(); ok {
+		p.transmit(next)
+	}
+	// Deliver after bookkeeping so a sink that sends more traffic
+	// observes a consistent port state.
+	p.out(pkt)
+}

@@ -1,0 +1,124 @@
+// Package netem is the network-emulation substrate standing in for the
+// paper's BESS software switch and netem delay configuration: a byte-
+// capacity drop-tail FIFO, a rate-limited serializing port, and fixed
+// propagation-delay pipes, composable into the dumbbell topology every
+// experiment uses.
+package netem
+
+import (
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// DropTailQueue is a byte-capacity FIFO, the queue discipline the paper
+// configures at the bottleneck ("a drop-tail queue is used at the
+// bottleneck link"). Capacity is expressed in bytes, matching the
+// paper's 3 MB / 375 MB buffer specifications.
+//
+// The backing store is a growable ring buffer: at CoreScale a full
+// buffer holds ~250k segments and the queue churns hundreds of millions
+// of times per run, so per-operation allocation is unacceptable.
+type DropTailQueue struct {
+	capacity units.ByteCount
+	bytes    units.ByteCount
+
+	ring []packet.Packet
+	head int
+	n    int
+
+	// Cumulative statistics.
+	enqueued   uint64
+	dropped    uint64
+	maxBytes   units.ByteCount
+	maxPackets int
+}
+
+// NewDropTailQueue creates a queue holding at most capacity bytes of
+// packets (wire sizes).
+func NewDropTailQueue(capacity units.ByteCount) *DropTailQueue {
+	if capacity <= 0 {
+		panic("netem: non-positive queue capacity")
+	}
+	return &DropTailQueue{
+		capacity: capacity,
+		ring:     make([]packet.Packet, 1024),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (q *DropTailQueue) Capacity() units.ByteCount { return q.capacity }
+
+// Bytes returns the current occupancy in wire bytes.
+func (q *DropTailQueue) Bytes() units.ByteCount { return q.bytes }
+
+// Len returns the number of queued packets.
+func (q *DropTailQueue) Len() int { return q.n }
+
+// Enqueued returns the cumulative count of accepted packets.
+func (q *DropTailQueue) Enqueued() uint64 { return q.enqueued }
+
+// Dropped returns the cumulative count of tail-dropped packets.
+func (q *DropTailQueue) Dropped() uint64 { return q.dropped }
+
+// MaxBytes returns the high-water mark of byte occupancy.
+func (q *DropTailQueue) MaxBytes() units.ByteCount { return q.maxBytes }
+
+// MaxLen returns the high-water mark of packet occupancy.
+func (q *DropTailQueue) MaxLen() int { return q.maxPackets }
+
+// Push appends p if its wire size fits within the remaining capacity and
+// reports whether it was accepted. A false return is a tail drop; the
+// caller is responsible for logging it (the paper logs every drop at the
+// bottleneck to compute loss rates and burstiness).
+func (q *DropTailQueue) Push(p packet.Packet) bool {
+	wire := p.WireBytes()
+	if q.bytes+wire > q.capacity {
+		q.dropped++
+		return false
+	}
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = p
+	q.n++
+	q.bytes += wire
+	q.enqueued++
+	if q.bytes > q.maxBytes {
+		q.maxBytes = q.bytes
+	}
+	if q.n > q.maxPackets {
+		q.maxPackets = q.n
+	}
+	return true
+}
+
+// Pop removes and returns the oldest packet. The second result is false
+// when the queue is empty.
+func (q *DropTailQueue) Pop() (packet.Packet, bool) {
+	if q.n == 0 {
+		return packet.Packet{}, false
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = packet.Packet{} // clear for GC hygiene of any future pointer fields
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	q.bytes -= p.WireBytes()
+	return p, true
+}
+
+func (q *DropTailQueue) grow() {
+	bigger := make([]packet.Packet, 2*len(q.ring))
+	for i := 0; i < q.n; i++ {
+		bigger[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = bigger
+	q.head = 0
+}
+
+// QueueingDelay estimates the waiting time a packet arriving now would
+// experience before reaching the head of the line, given drain rate
+// rate. Used by tests and by queue-depth instrumentation.
+func (q *DropTailQueue) QueueingDelay(rate units.Bandwidth) sim.Time {
+	return rate.TransmissionTime(q.bytes)
+}

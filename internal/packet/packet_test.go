@@ -1,0 +1,77 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"ccatscale/internal/units"
+)
+
+func TestWireBytes(t *testing.T) {
+	data := Packet{Len: 1448}
+	if got := data.WireBytes(); got != 1448+HeaderBytes {
+		t.Fatalf("data WireBytes = %v, want %v", got, 1448+HeaderBytes)
+	}
+	// Full-MSS frame should be the classic ~1518B Ethernet frame.
+	if data.WireBytes() != 1518 {
+		t.Fatalf("full-MSS frame = %v, want 1518", data.WireBytes())
+	}
+	ack := Packet{Ack: true}
+	if got := ack.WireBytes(); got != AckBytes {
+		t.Fatalf("ack WireBytes = %v, want %v", got, AckBytes)
+	}
+}
+
+func TestEnd(t *testing.T) {
+	p := Packet{Seq: 1000, Len: 1448}
+	if p.End() != 2448 {
+		t.Fatalf("End = %d, want 2448", p.End())
+	}
+}
+
+func TestSackBlockLen(t *testing.T) {
+	b := SackBlock{Start: 10, End: 25}
+	if b.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", b.Len())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	d := Packet{Flow: 3, Seq: 0, Len: 1448}
+	if got := d.String(); !strings.Contains(got, "DATA") || !strings.Contains(got, "flow 3") {
+		t.Errorf("data String = %q", got)
+	}
+	d.Retrans = true
+	if got := d.String(); !strings.Contains(got, "RTX") {
+		t.Errorf("retransmission String = %q", got)
+	}
+	a := Packet{Flow: 1, Ack: true, CumAck: 2896, NumSack: 1}
+	a.Sack[0] = SackBlock{Start: 4344, End: 5792}
+	got := a.String()
+	if !strings.Contains(got, "ACK 2896") || !strings.Contains(got, "sack[4344,5792)") {
+		t.Errorf("ack String = %q", got)
+	}
+}
+
+func TestPacketValueSizeStaysSmall(t *testing.T) {
+	// Queues hold packets by value; a size regression multiplies across
+	// hundreds of thousands of queued segments at CoreScale.
+	var p Packet
+	const maxBytes = 200
+	if size := int(unsafeSizeof(p)); size > maxBytes {
+		t.Fatalf("Packet value is %d bytes, want ≤ %d", size, maxBytes)
+	}
+}
+
+func unsafeSizeof(p Packet) uintptr {
+	return sizeOf(&p)
+}
+
+func TestHeaderAccounting(t *testing.T) {
+	// The harness charges wire bytes against link capacity; sanity-check
+	// goodput fraction for full-MSS segments: 1448/1518 ≈ 95.4%.
+	frac := float64(units.MSS) / float64(units.MSS+HeaderBytes)
+	if frac < 0.95 || frac > 0.96 {
+		t.Fatalf("goodput fraction = %v, want ≈0.954", frac)
+	}
+}

@@ -1,0 +1,6 @@
+package packet
+
+import "unsafe"
+
+// sizeOf isolates the unsafe import so the main test file stays plain.
+func sizeOf(p *Packet) uintptr { return unsafe.Sizeof(*p) }

@@ -1,0 +1,103 @@
+// Package padhye implements the PFTK TCP throughput model (Padhye,
+// Firoiu, Towsley, Kurose, "Modeling TCP Throughput: A Simple Model and
+// its Empirical Validation", SIGCOMM 1998) — the second throughput
+// model the paper cites alongside Mathis et al. Where the Mathis model
+// covers only the congestion-avoidance regime, PFTK adds the effect of
+// retransmission timeouts, which dominate at high loss rates:
+//
+//	            	              1
+//	B(p) ≈ ───────────────────────────────────────────────────
+//	       RTT·√(2bp/3) + T₀·min(1, 3·√(3bp/8))·p·(1 + 32p²)
+//
+// in segments per second, with b ACKed-segments-per-ACK (2 under
+// delayed ACKs) and T₀ the retransmission timeout.
+package padhye
+
+import "math"
+
+// Params parameterizes the model.
+type Params struct {
+	// MSSBytes is the segment size.
+	MSSBytes float64
+	// RTTSeconds is the round-trip time.
+	RTTSeconds float64
+	// RTOSeconds is the retransmission timeout T₀; if 0, a typical
+	// 4·RTT (floored at 200 ms, the Linux minimum) is used.
+	RTOSeconds float64
+	// AckedPerAck is b, the segments acknowledged per ACK (0 → 2,
+	// delayed ACKs).
+	AckedPerAck float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.AckedPerAck <= 0 {
+		p.AckedPerAck = 2
+	}
+	if p.RTOSeconds <= 0 {
+		p.RTOSeconds = math.Max(4*p.RTTSeconds, 0.2)
+	}
+	return p
+}
+
+// Throughput returns the PFTK-predicted throughput in bytes per second
+// for loss-event probability lossProb. It returns 0 for degenerate
+// inputs.
+func Throughput(params Params, lossProb float64) float64 {
+	if lossProb <= 0 || lossProb >= 1 || params.RTTSeconds <= 0 || params.MSSBytes <= 0 {
+		return 0
+	}
+	params = params.withDefaults()
+	p := lossProb
+	b := params.AckedPerAck
+
+	caTerm := params.RTTSeconds * math.Sqrt(2*b*p/3)
+	toProb := math.Min(1, 3*math.Sqrt(3*b*p/8))
+	toTerm := params.RTOSeconds * toProb * p * (1 + 32*p*p)
+
+	segsPerSec := 1 / (caTerm + toTerm)
+	return segsPerSec * params.MSSBytes
+}
+
+// MathisRegime returns the simplified model with the timeout term
+// dropped — the Mathis-equivalent asymptote that PFTK converges to at
+// low loss (with C = √(3/(2b))).
+func MathisRegime(params Params, lossProb float64) float64 {
+	if lossProb <= 0 || lossProb >= 1 || params.RTTSeconds <= 0 || params.MSSBytes <= 0 {
+		return 0
+	}
+	params = params.withDefaults()
+	return params.MSSBytes / (params.RTTSeconds * math.Sqrt(2*params.AckedPerAck*lossProb/3))
+}
+
+// CrossoverLoss estimates the loss probability beyond which the timeout
+// term contributes more than frac of the total denominator (a measure
+// of where the Mathis simplification stops being usable), found by
+// bisection on [1e-6, 0.5].
+func CrossoverLoss(params Params, frac float64) float64 {
+	if frac <= 0 || frac >= 1 {
+		return 0
+	}
+	params = params.withDefaults()
+	ratio := func(p float64) float64 {
+		caTerm := params.RTTSeconds * math.Sqrt(2*params.AckedPerAck*p/3)
+		toProb := math.Min(1, 3*math.Sqrt(3*params.AckedPerAck*p/8))
+		toTerm := params.RTOSeconds * toProb * p * (1 + 32*p*p)
+		return toTerm / (caTerm + toTerm)
+	}
+	lo, hi := 1e-6, 0.5
+	if ratio(lo) >= frac {
+		return lo
+	}
+	if ratio(hi) <= frac {
+		return hi
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if ratio(mid) < frac {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

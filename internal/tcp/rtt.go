@@ -1,0 +1,99 @@
+// Package tcp implements the simulated TCP transport: a SACK-capable
+// sender with fast retransmit/recovery, retransmission timeouts, pacing
+// and delivery-rate sampling, and a delayed-ACK receiver. Congestion
+// control is delegated to an internal/cca implementation, mirroring the
+// kernel's split between the protocol machinery and the pluggable CCA
+// module.
+package tcp
+
+import "ccatscale/internal/sim"
+
+// RFC 6298 / Linux timer constants.
+const (
+	// MinRTO matches Linux's TCP_RTO_MIN (200 ms), the stack the paper
+	// measures; the RFC's 1 s floor is long obsolete in practice.
+	MinRTO = 200 * sim.Millisecond
+
+	// MaxRTO matches TCP_RTO_MAX.
+	MaxRTO = 60 * sim.Second
+
+	// InitialRTO applies before the first RTT sample (RFC 6298 §2.1).
+	InitialRTO = 1 * sim.Second
+)
+
+// rttEstimator maintains SRTT/RTTVAR per RFC 6298 and a lifetime
+// minimum.
+type rttEstimator struct {
+	srtt    sim.Time
+	rttvar  sim.Time
+	minRTT  sim.Time
+	latest  sim.Time
+	samples uint64
+
+	// sum supports mean-RTT reporting for the Mathis analysis.
+	sum sim.Time
+}
+
+// Update folds in one RTT sample.
+func (e *rttEstimator) Update(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	e.latest = sample
+	e.samples++
+	e.sum += sample
+	if e.minRTT == 0 || sample < e.minRTT {
+		e.minRTT = sample
+	}
+	if e.samples == 1 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		return
+	}
+	// RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R'|; SRTT = 7/8·SRTT + 1/8·R'.
+	diff := e.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + sample) / 8
+}
+
+// RTO returns the current retransmission timeout, or InitialRTO before
+// any sample. Following Linux's tcp_set_rto, the variance term is
+// floored at MinRTO — RTO = SRTT + max(4·RTTVAR, MinRTO) — rather than
+// clamping only the final value: on a deep-buffered path whose RTT sits
+// far above 200 ms with little variance, a bare SRTT+4·RTTVAR leaves no
+// margin for delayed-ACK stalls and queue excursions and fires streams
+// of spurious timeouts.
+func (e *rttEstimator) RTO() sim.Time {
+	if e.samples == 0 {
+		return InitialRTO
+	}
+	margin := 4 * e.rttvar
+	if margin < MinRTO {
+		margin = MinRTO
+	}
+	rto := e.srtt + margin
+	if rto > MaxRTO {
+		rto = MaxRTO
+	}
+	return rto
+}
+
+// SRTT returns the smoothed RTT (0 before any sample).
+func (e *rttEstimator) SRTT() sim.Time { return e.srtt }
+
+// Min returns the lifetime minimum RTT (0 before any sample).
+func (e *rttEstimator) Min() sim.Time { return e.minRTT }
+
+// Mean returns the arithmetic mean over all samples (0 before any).
+func (e *rttEstimator) Mean() sim.Time {
+	if e.samples == 0 {
+		return 0
+	}
+	return e.sum / sim.Time(e.samples)
+}
+
+// Samples returns the number of samples folded in.
+func (e *rttEstimator) Samples() uint64 { return e.samples }

@@ -1,0 +1,115 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccatscale/internal/sim"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	var e rttEstimator
+	if e.RTO() != InitialRTO {
+		t.Fatalf("pre-sample RTO = %v, want %v", e.RTO(), InitialRTO)
+	}
+	e.Update(100 * sim.Millisecond)
+	if e.SRTT() != 100*sim.Millisecond {
+		t.Fatalf("SRTT = %v", e.SRTT())
+	}
+	// RTO = SRTT + max(4·RTTVAR, MinRTO) = 100 + max(200, 200) = 300 ms.
+	if e.RTO() != 300*sim.Millisecond {
+		t.Fatalf("RTO = %v, want 300ms", e.RTO())
+	}
+	// With a large variance the 4·RTTVAR term dominates the floor.
+	var v rttEstimator
+	v.Update(100 * sim.Millisecond)
+	v.Update(500 * sim.Millisecond) // rttvar = 3/4·50 + 1/4·400 = 137.5ms
+	wantMargin := 4 * v.rttvar
+	if wantMargin < MinRTO {
+		t.Fatal("test setup: margin should exceed MinRTO")
+	}
+	if v.RTO() != v.srtt+wantMargin {
+		t.Fatalf("RTO = %v, want srtt+4var = %v", v.RTO(), v.srtt+wantMargin)
+	}
+}
+
+func TestRTTSmoothing(t *testing.T) {
+	var e rttEstimator
+	e.Update(100 * sim.Millisecond)
+	e.Update(200 * sim.Millisecond)
+	// SRTT = 7/8·100 + 1/8·200 = 112.5 ms.
+	want := sim.Time(112500000)
+	if e.SRTT() != want {
+		t.Fatalf("SRTT = %v, want %v", e.SRTT(), want)
+	}
+}
+
+func TestRTTMinAndMeanTracking(t *testing.T) {
+	var e rttEstimator
+	for _, s := range []sim.Time{30, 10, 50, 20} {
+		e.Update(s * sim.Millisecond)
+	}
+	if e.Min() != 10*sim.Millisecond {
+		t.Fatalf("Min = %v", e.Min())
+	}
+	if e.Mean() != 27500*sim.Microsecond {
+		t.Fatalf("Mean = %v", e.Mean())
+	}
+	if e.Samples() != 4 {
+		t.Fatalf("Samples = %d", e.Samples())
+	}
+}
+
+func TestRTOClamps(t *testing.T) {
+	var e rttEstimator
+	// A tiny stable RTT must clamp to the Linux 200 ms floor.
+	for i := 0; i < 50; i++ {
+		e.Update(100 * sim.Microsecond)
+	}
+	if e.RTO() != MinRTO+100*sim.Microsecond {
+		t.Fatalf("RTO = %v, want srtt+floor %v", e.RTO(), MinRTO+100*sim.Microsecond)
+	}
+	var big rttEstimator
+	big.Update(100 * sim.Second)
+	if big.RTO() != MaxRTO {
+		t.Fatalf("RTO = %v, want ceiling %v", big.RTO(), MaxRTO)
+	}
+}
+
+func TestRTTIgnoresNonPositive(t *testing.T) {
+	var e rttEstimator
+	e.Update(0)
+	e.Update(-5)
+	if e.Samples() != 0 {
+		t.Fatal("non-positive samples were counted")
+	}
+}
+
+// Property: with any positive sample stream, SRTT stays within the
+// observed min/max envelope and RTO ≥ SRTT (up to the floor).
+func TestRTTEnvelopeProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var e rttEstimator
+		min, max := sim.Time(1<<62), sim.Time(0)
+		for _, r := range raw {
+			s := sim.Time(r%1000000+1) * sim.Microsecond
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+			e.Update(s)
+			if e.SRTT() < min || e.SRTT() > max {
+				return false
+			}
+			if e.RTO() < e.SRTT() && e.RTO() != MaxRTO {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

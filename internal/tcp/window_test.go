@@ -1,0 +1,276 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+func TestWindowExtendAndPipe(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := int64(0); i < 5; i++ {
+		if seg := w.ExtendOne(0); seg != i {
+			t.Fatalf("ExtendOne = %d, want %d", seg, i)
+		}
+	}
+	if w.Pipe() != 5*units.MSS {
+		t.Fatalf("Pipe = %v, want 5 MSS", w.Pipe())
+	}
+	if w.InWindow() != 5 || w.Una() != 0 || w.Nxt() != 5 {
+		t.Fatalf("window bounds wrong: una=%d nxt=%d", w.Una(), w.Nxt())
+	}
+}
+
+func TestWindowAdvanceDelivers(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 10; i++ {
+		w.ExtendOne(0)
+	}
+	got := w.Advance(4)
+	if got != 4*units.MSS {
+		t.Fatalf("Advance delivered %v, want 4 MSS", got)
+	}
+	if w.Pipe() != 6*units.MSS {
+		t.Fatalf("Pipe = %v, want 6 MSS", w.Pipe())
+	}
+	if w.Advance(4) != 0 {
+		t.Fatal("re-advance to same point delivered bytes")
+	}
+}
+
+func TestWindowAdvanceBeyondNxtPanics(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	w.ExtendOne(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on ACK beyond snd.nxt")
+		}
+	}()
+	w.Advance(5)
+}
+
+func TestWindowSackAccounting(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 10; i++ {
+		w.ExtendOne(0)
+	}
+	if got := w.Sack(5); got != units.MSS {
+		t.Fatalf("first Sack = %v, want MSS", got)
+	}
+	if got := w.Sack(5); got != 0 {
+		t.Fatalf("repeated Sack = %v, want 0", got)
+	}
+	if w.Pipe() != 9*units.MSS {
+		t.Fatalf("Pipe = %v after one SACK", w.Pipe())
+	}
+	// Out-of-window SACKs are ignored.
+	if w.Sack(-1) != 0 || w.Sack(100) != 0 {
+		t.Fatal("out-of-window SACK delivered bytes")
+	}
+	// Cumulative ACK across SACKed segments does not double-count.
+	w.Sack(0)
+	if got := w.Advance(6); got != 4*units.MSS {
+		t.Fatalf("Advance over mixed states delivered %v, want 4 MSS", got)
+	}
+}
+
+func TestWindowFACKLossMarking(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 10; i++ {
+		w.ExtendOne(0)
+	}
+	// Nothing SACKed yet: no marking possible.
+	if lost := w.MarkLost(); lost != 0 {
+		t.Fatalf("loss marking with no SACKs: %v", lost)
+	}
+	// One SACK beyond the hole proves it lost (zero reordering window
+	// on a FIFO network).
+	w.Sack(1)
+	if lost := w.MarkLost(); lost != units.MSS {
+		t.Fatalf("MarkLost = %v, want 1 MSS (segment 0)", lost)
+	}
+	w.Sack(2)
+	w.Sack(3)
+	if lost := w.MarkLost(); lost != 0 {
+		t.Fatalf("re-marking found new losses: %v", lost)
+	}
+	if seg, ok := w.NextLost(); !ok || seg != 0 {
+		t.Fatalf("NextLost = %d %v, want 0 true", seg, ok)
+	}
+	// Pipe: 10 sent − 3 sacked − 1 lost = 6 in flight.
+	if w.Pipe() != 6*units.MSS {
+		t.Fatalf("Pipe = %v, want 6 MSS", w.Pipe())
+	}
+}
+
+func TestWindowStaleRtxDetection(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 6; i++ {
+		w.ExtendOne(sim.Time(i))
+	}
+	// Segment 0 lost, retransmitted at t=10.
+	w.Sack(1)
+	w.MarkLost()
+	seg, _ := w.NextLost()
+	w.MarkRetransmitted(seg, 10)
+	// A SACK for data sent before the retransmission proves nothing.
+	w.Sack(2)
+	if got := w.MarkStaleRtxLost(); got != 0 {
+		t.Fatalf("rtx wrongly declared stale: %v", got)
+	}
+	// New data sent at t=20 and SACKed: the t=10 retransmission must
+	// have been dropped (FIFO network).
+	w.ExtendOne(20)
+	w.Sack(6)
+	if got := w.MarkStaleRtxLost(); got != units.MSS {
+		t.Fatalf("stale rtx not detected: %v", got)
+	}
+	if seg, ok := w.NextLost(); !ok || seg != 0 {
+		t.Fatalf("NextLost = %d %v, want segment 0 again", seg, ok)
+	}
+}
+
+func TestWindowRetransmitLifecycle(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 8; i++ {
+		w.ExtendOne(0)
+	}
+	w.Sack(3)
+	w.Sack(4)
+	w.Sack(5)
+	w.MarkLost() // segments 0..2 lost
+	if w.LostSegments() != 3 {
+		t.Fatalf("LostSegments = %d, want 3", w.LostSegments())
+	}
+	pipeBefore := w.Pipe()
+	seg, _ := w.NextLost()
+	w.MarkRetransmitted(seg, 0)
+	if w.Pipe() != pipeBefore+units.MSS {
+		t.Fatal("retransmission did not raise pipe")
+	}
+	if w.LostSegments() != 2 {
+		t.Fatalf("LostSegments after rtx = %d, want 2", w.LostSegments())
+	}
+	// Retransmitting a non-lost segment must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic retransmitting non-lost segment")
+		}
+	}()
+	w.MarkRetransmitted(seg, 0)
+}
+
+func TestWindowSackCancelsPendingRetransmission(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 8; i++ {
+		w.ExtendOne(0)
+	}
+	w.Sack(4)
+	w.Sack(5)
+	w.Sack(6)
+	w.MarkLost() // 0..3 lost (highest=6, thresh 3 → ≤3)
+	if w.LostSegments() != 4 {
+		t.Fatalf("LostSegments = %d, want 4", w.LostSegments())
+	}
+	// A late SACK for a lost segment cancels its retransmission without
+	// touching pipe (it was already deducted).
+	pipe := w.Pipe()
+	if got := w.Sack(2); got != units.MSS {
+		t.Fatalf("late Sack = %v", got)
+	}
+	if w.Pipe() != pipe {
+		t.Fatal("late SACK of lost segment changed pipe")
+	}
+	if w.LostSegments() != 3 {
+		t.Fatalf("LostSegments = %d, want 3", w.LostSegments())
+	}
+}
+
+func TestWindowMarkAllLost(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	for i := 0; i < 10; i++ {
+		w.ExtendOne(0)
+	}
+	w.Sack(5)
+	lost := w.MarkAllLost()
+	if lost != 9*units.MSS {
+		t.Fatalf("MarkAllLost = %v, want 9 MSS (SACKed stays)", lost)
+	}
+	if w.Pipe() != 0 {
+		t.Fatalf("Pipe after RTO = %v, want 0", w.Pipe())
+	}
+	if seg, ok := w.NextLost(); !ok || seg != 0 {
+		t.Fatalf("NextLost after RTO = %d %v", seg, ok)
+	}
+}
+
+func TestWindowRingGrowth(t *testing.T) {
+	w := newSendWindow(units.MSS)
+	// Push the window past the initial ring capacity with a moving base.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 100; i++ {
+			w.ExtendOne(0)
+		}
+		w.Advance(w.Una() + 60)
+	}
+	if w.InWindow() != 20*40 {
+		t.Fatalf("InWindow = %d, want 800", w.InWindow())
+	}
+	if w.Pipe() != units.ByteCount(800)*units.MSS {
+		t.Fatalf("Pipe = %v", w.Pipe())
+	}
+}
+
+// Property: pipe always equals MSS × (#Sent + #Rtx states), regardless
+// of the operation sequence.
+func TestWindowPipeInvariantProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		Arg  uint8
+	}
+	f := func(ops []op) bool {
+		w := newSendWindow(units.MSS)
+		for _, o := range ops {
+			switch o.Kind % 5 {
+			case 0:
+				if w.InWindow() < 200 {
+					w.ExtendOne(0)
+				}
+			case 1:
+				if w.InWindow() > 0 {
+					w.Advance(w.Una() + 1 + int64(o.Arg)%w.InWindow())
+				}
+			case 2:
+				if w.InWindow() > 0 {
+					w.Sack(w.Una() + int64(o.Arg)%w.InWindow())
+				}
+			case 3:
+				w.MarkLost()
+			case 4:
+				if seg, ok := w.NextLost(); ok {
+					w.MarkRetransmitted(seg, 0)
+				}
+			}
+			// Recompute pipe from scratch and compare.
+			var want units.ByteCount
+			lost := 0
+			for seg := w.Una(); seg < w.Nxt(); seg++ {
+				switch w.state(seg) {
+				case segSent, segRtx:
+					want += units.MSS
+				case segLost:
+					lost++
+				}
+			}
+			if w.Pipe() != want || w.LostSegments() != lost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package trace provides the instrumentation the paper's testbed got
+// from BESS drop logging and the Linux tcpprobe module: a bottleneck
+// drop log (per-flow counts plus timestamps for loss-rate and
+// burstiness analysis) and a periodic per-flow congestion-window
+// sampler.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// QueueLog records bottleneck tail drops, standing in for the paper's
+// "logging packet drops at the bottleneck queue in the software
+// switch".
+type QueueLog struct {
+	startAt sim.Time
+
+	times    []sim.Time
+	perFlow  map[int32]uint64
+	total    uint64
+	capTimes int
+}
+
+// NewQueueLog creates a log. maxTimestamps bounds the retained
+// timestamp list (0 = unbounded); per-flow counters are always exact.
+// Burstiness needs the raw inter-drop gaps, so CoreScale runs keep a
+// large but bounded sample.
+func NewQueueLog(maxTimestamps int) *QueueLog {
+	return &QueueLog{perFlow: make(map[int32]uint64), capTimes: maxTimestamps}
+}
+
+// SetWindowStart discards the notion of drops before t for timestamp
+// collection: drops recorded earlier than t are counted but their
+// timestamps excluded from burstiness analysis (the paper ignores the
+// warm-up period).
+func (l *QueueLog) SetWindowStart(t sim.Time) { l.startAt = t }
+
+// OnDrop is the netem.DropFunc to install at the bottleneck.
+func (l *QueueLog) OnDrop(now sim.Time, p packet.Packet) {
+	l.total++
+	l.perFlow[p.Flow]++
+	if now < l.startAt {
+		return
+	}
+	if l.capTimes == 0 || len(l.times) < l.capTimes {
+		l.times = append(l.times, now)
+	}
+}
+
+// Total returns the total drop count.
+func (l *QueueLog) Total() uint64 { return l.total }
+
+// Flow returns the drop count for one flow.
+func (l *QueueLog) Flow(f int32) uint64 { return l.perFlow[f] }
+
+// TimesSeconds returns the retained drop timestamps in seconds, for
+// metrics.Burstiness.
+func (l *QueueLog) TimesSeconds() []float64 {
+	out := make([]float64, len(l.times))
+	for i, t := range l.times {
+		out[i] = t.Seconds()
+	}
+	return out
+}
+
+// ResetCounts clears per-flow and total counters (used at the end of
+// the warm-up window so loss rates cover only the measurement period).
+func (l *QueueLog) ResetCounts() {
+	l.total = 0
+	for k := range l.perFlow {
+		delete(l.perFlow, k)
+	}
+	l.times = l.times[:0]
+}
+
+// CwndSample is one tcpprobe-style record.
+type CwndSample struct {
+	At   sim.Time
+	Flow int32
+	Cwnd units.ByteCount
+}
+
+// CwndProbe periodically samples congestion windows, like tcpprobe's
+// kprobe on tcp_rcv_established. Samples can be retained in memory,
+// streamed as CSV, or both.
+type CwndProbe struct {
+	eng      *sim.Engine
+	interval sim.Time
+	read     func() []CwndSample
+	keep     bool
+	w        io.Writer
+
+	samples []CwndSample
+	stopped bool
+}
+
+// NewCwndProbe samples via read every interval. If keep is true the
+// samples accumulate in memory; if w is non-nil each sample is written
+// as a "seconds,flow,cwnd_bytes" CSV line.
+func NewCwndProbe(eng *sim.Engine, interval sim.Time, read func() []CwndSample, keep bool, w io.Writer) *CwndProbe {
+	if interval <= 0 {
+		panic("trace: non-positive probe interval")
+	}
+	if read == nil {
+		panic("trace: probe without reader")
+	}
+	return &CwndProbe{eng: eng, interval: interval, read: read, keep: keep, w: w}
+}
+
+// Start begins sampling at virtual time at.
+func (p *CwndProbe) Start(at sim.Time) {
+	p.eng.Schedule(at, p.tick)
+}
+
+// Stop halts sampling after the current tick.
+func (p *CwndProbe) Stop() { p.stopped = true }
+
+// Samples returns the retained samples.
+func (p *CwndProbe) Samples() []CwndSample { return p.samples }
+
+func (p *CwndProbe) tick() {
+	if p.stopped {
+		return
+	}
+	for _, s := range p.read() {
+		if p.keep {
+			p.samples = append(p.samples, s)
+		}
+		if p.w != nil {
+			fmt.Fprintf(p.w, "%.6f,%d,%d\n", s.At.Seconds(), s.Flow, int64(s.Cwnd))
+		}
+	}
+	p.eng.After(p.interval, p.tick)
+}

@@ -1,0 +1,90 @@
+// Package waremodel reconstructs the fixed-point analysis of Ware et
+// al., "Modeling BBR's Interactions with Loss-Based Congestion Control"
+// (IMC 2019) — the model whose headline prediction the paper validates
+// at scale in Findings 6–7: when BBRv1 competes against loss-based
+// flows that keep a deep drop-tail buffer full, BBR is limited by its
+// in-flight cap (cwnd_gain × BtlBw × RTprop) and settles at a fixed
+// fraction of the link that is independent of HOW MANY loss-based flows
+// it faces and of the exact buffer depth.
+//
+// Model structure (normalized to link capacity C = 1, base RTT R = 1,
+// buffer β in base-BDP units):
+//
+//   - Loss-based traffic keeps the queue full, so the actual round-trip
+//     time is T = 1 + β and total outstanding data is C·T.
+//   - A cap-limited BBR aggregate with in-flight I delivers at w = I/T
+//     (FIFO: throughput share equals queue-occupancy share).
+//   - The max filter samples the probe phase: ŵ = φ·w with probe gain
+//     utilization φ ∈ [1, 1.25].
+//   - BBR's min-RTT estimate R̂ is taken during PROBE_RTT, when its own
+//     in-flight briefly leaves the queue: R̂ = 1 + max(0, β − I).
+//   - The cap equation closes the loop: I = g·ŵ·R̂ with g = cwnd_gain.
+//
+// Solving for I gives the BBR share I/(C·T). For deep buffers (β ≥ 1)
+// and default parameters the share is g·φ−over-related constant around
+// one half, matching the ≈40 % the paper measures for a single BBR flow
+// against thousands of NewReno or Cubic flows; for shallow buffers the
+// fixed point exceeds the pipe and BBR starves the loss-based traffic,
+// matching Hock et al. and the paper's Figure 8 regime.
+package waremodel
+
+import "math"
+
+// Params configures the fixed-point model.
+type Params struct {
+	// CwndGain is BBR's in-flight cap gain (2.0 in BBRv1).
+	CwndGain float64
+	// ProbeUtilization φ is the fraction of the 1.25 pacing-gain probe
+	// that survives into the bandwidth filter; 1.0 models a fully
+	// contended probe (samples equal the steady share), 1.25 a probe
+	// that delivers at the full pacing gain.
+	ProbeUtilization float64
+	// BufferBDP is the bottleneck buffer in units of the flow's base
+	// bandwidth-delay product (β above).
+	BufferBDP float64
+}
+
+// DefaultParams returns the BBRv1 parameters with a contended probe.
+func DefaultParams(bufferBDP float64) Params {
+	return Params{CwndGain: 2, ProbeUtilization: 1, BufferBDP: bufferBDP}
+}
+
+// Share returns the steady-state fraction of bottleneck bandwidth the
+// model predicts for the BBR aggregate, in [0, 1].
+//
+// The closed form: with T = 1+β, the cap equation I = g·φ·(I/T)·R̂
+// requires R̂ = T/(g·φ). When the implied R̂ stays above the base RTT
+// (deep buffer), R̂ = 1 + β − I gives
+//
+//	I = T·(1 − 1/(g·φ))  ⇒  share = 1 − 1/(g·φ).
+//
+// When the buffer is too shallow for that fixed point (β < I, so BBR's
+// ProbeRTT already observes the base RTT and R̂ = 1), the cap ratchets
+// until BBR occupies everything it can: share = min(1, g·φ/T).
+func Share(p Params) float64 {
+	if p.CwndGain <= 0 || p.ProbeUtilization <= 0 || p.BufferBDP < 0 {
+		return 0
+	}
+	g := p.CwndGain * p.ProbeUtilization
+	t := 1 + p.BufferBDP
+	if g <= 1 {
+		// A cap below one delivered-BDP cannot sustain any queue
+		// occupancy against competitors; the model degenerates.
+		return 0
+	}
+	deepShare := 1 - 1/g
+	deepInflight := t * deepShare
+	if p.BufferBDP >= deepInflight {
+		return deepShare
+	}
+	// Shallow buffer: R̂ pins at the base RTT and the cap grows until
+	// it owns the whole pipe or the g·R̂/T multiplier turns < 1.
+	return math.Min(1, g/t)
+}
+
+// SingleBBRShare is the headline prediction the paper tests in Figures
+// 6 and 7: one BBR flow against any number of loss-based flows on a
+// deep buffer.
+func SingleBBRShare(bufferBDP float64) float64 {
+	return Share(DefaultParams(bufferBDP))
+}
