@@ -68,6 +68,14 @@ func main() {
 		duration = fs.Duration("duration", 0, "override measurement window (max length when -converge is set)")
 		converge = fs.Duration("converge", 0, "enable the paper's early-stop rule with this window (e.g. 20s)")
 		aqm      = fs.String("aqm", "", "bottleneck discipline: droptail (default) or codel")
+		rateBps  = fs.Int64("rate-bps", 0, "override bottleneck rate in bits/sec (replay)")
+		bufBytes = fs.Int64("buffer-bytes", 0, "override bottleneck buffer in bytes (replay)")
+		warmup   = fs.Duration("warmup", 0, "override warm-up exclusion window")
+		stagger  = fs.Duration("stagger", -1, "override flow start-stagger window")
+		burst    = fs.String("burst", "", "Gilbert–Elliott burst loss \"meanLoss,meanBurstLen\" (e.g. 0.005,8)")
+		outage   = fs.String("outage", "", "link outage schedule \"start,down,period,count[,hold]\" (e.g. 2s,1s,10s,3)")
+		panicAt  = fs.Duration("panic-at", 0, "inject a panic at this virtual time (supervisor drill)")
+		inFile   = fs.String("in", "", "failure record for the replay experiment")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -81,6 +89,35 @@ func main() {
 		setting.Converge = sim.Duration(*converge)
 	}
 	setting.AQM = *aqm
+	if *rateBps > 0 {
+		setting.Rate = units.Bandwidth(*rateBps)
+	}
+	if *bufBytes > 0 {
+		setting.Buffer = units.ByteCount(*bufBytes)
+	}
+	if *warmup > 0 {
+		setting.Warmup = sim.Duration(*warmup)
+	}
+	if *stagger >= 0 {
+		setting.Stagger = sim.Duration(*stagger)
+	}
+	if *burst != "" {
+		spec, err := core.ParseBurstLoss(*burst)
+		if err != nil {
+			fatal(err)
+		}
+		setting.BurstLoss = spec
+	}
+	if *outage != "" {
+		spec, err := core.ParseOutage(*outage)
+		if err != nil {
+			fatal(err)
+		}
+		setting.Outage = spec
+	}
+	if *panicAt > 0 {
+		setting.FaultPanicAt = sim.Duration(*panicAt)
+	}
 	rtts := core.RTTs
 	if *rttFlag != "" {
 		d, err := time.ParseDuration(*rttFlag)
@@ -118,6 +155,12 @@ func main() {
 		tab, err = runRTTMix(setting, *ccaName, *seed, *parallel)
 	case "churn":
 		tab, err = runChurn(setting, *ccaName, *seed)
+	case "burstloss":
+		tab, err = runBurstLoss(setting, *seed, *parallel)
+	case "outage":
+		tab, err = runOutage(setting, *seed, *parallel)
+	case "replay":
+		tab, err = runReplay(*inFile)
 	case "timeseries":
 		err = runTimeseries(setting, *flowSpec, *seed)
 		return
@@ -342,6 +385,74 @@ func runCustom(s core.Setting, spec string, seed uint64) (*report.Table, error) 
 	return tab, nil
 }
 
+// runBurstLoss runs the burst-loss extension: fixed mean loss rate,
+// growing mean burst length, against the iid Mathis prediction.
+func runBurstLoss(s core.Setting, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.BurstLossSweep(s, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Extension: Gilbert–Elliott burst loss (mean loss %.1f%%, %d reno flows) vs iid Mathis prediction",
+			core.BurstMeanLoss*100, rows[0].Flows),
+		"setting", "burst len", "goodput/flow", "iid predict", "measured/model", "drops/halving", "burst drops")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.BurstLen, r.GoodputPerFlow.String(), r.PredictIID.String(),
+			r.ModelRatio, r.DropsPerHalving, r.BurstDrops)
+	}
+	return tab, nil
+}
+
+// runOutage runs the link-flap extension: per-CCA goodput retention,
+// RTOs, and fairness under periodic dark windows.
+func runOutage(s core.Setting, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.OutageSweep(s, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(
+		"Extension: link outages (periodic flaps; goodput relative to a clean run of the same CCA)",
+		"setting", "cca", "down", "flaps", "goodput", "vs clean %", "RTOs", "outage drops", "JFI")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.CCA, r.Down.String(), r.Flaps, r.Goodput.String(),
+			r.GoodputFrac*100, r.RTOs, r.OutageDrops, r.JFI)
+	}
+	return tab, nil
+}
+
+// runReplay re-executes a failed run from the JSON failure record the
+// reproduce sweep writes next to its results. A deterministic failure
+// reproduces exactly; a repaired one yields the per-flow table.
+func runReplay(path string) (*report.Table, error) {
+	if path == "" {
+		return nil, fmt.Errorf("replay needs -in <job>.failed.json")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	re, err := core.ReadRunError(f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "replaying: %s (seed %d, failed at vt=%v after %d events)\n",
+		re.Reason, re.Seed, re.VirtualTime, re.Events)
+	res, err := core.Run(re.Config)
+	if err != nil {
+		return nil, fmt.Errorf("failure reproduced: %w", err)
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Replay of %s: no failure this time (JFI %.3f, util %.3f, drops %d)",
+			path, res.JFI(), res.Utilization, res.TotalDrops),
+		"flow", "cca", "rtt", "goodput", "loss%", "halve%", "meanRTT")
+	for i, fl := range res.Flows {
+		tab.AddRow(i, fl.Spec.CCA, fl.Spec.RTT.String(), fl.Goodput.String(),
+			fl.LossRate*100, fl.HalvingRate*100, fl.MeanRTT.String())
+	}
+	return tab, nil
+}
+
 // parseFlows parses "NxCCA@RTT[,...]".
 func parseFlows(spec string) ([]core.FlowSpec, error) {
 	var out []core.FlowSpec
@@ -379,13 +490,20 @@ experiments:
   fig5 | fig6 | fig7 | fig8 -vs=cubic   inter-CCA fairness (§5.2)
   rttmix -cca=reno                      mixed-RTT extension (20ms vs 100ms classes)
   churn -cca=reno [-aqm codel]          Poisson flow-churn extension (FCT quantiles)
+  burstloss                             Gilbert–Elliott burst loss vs the iid Mathis model
+  outage                                per-CCA recovery under periodic link flaps
   timeseries -flows=2xbbr@20ms,...      per-CCA goodput series as CSV
   run -flows=4xbbr@20ms,4xreno@20ms     custom run
+  replay -in=<job>.failed.json          re-execute a failed run from its failure record
 
 CCAs: reno, cubic, bbr, vegas, bbr2 (vegas and bbr2 extend beyond the
 paper's three measured algorithms).
 
 flags: -scale N | -full | -edge | -rtt 20ms | -seed N | -parallel N | -csv | -duration 60s | -converge 20s
+
+fault injection (run/burstloss/outage): -burst meanLoss,meanBurstLen |
+-outage start,down,period,count[,hold] | -panic-at 5s (supervisor drill);
+replay overrides: -rate-bps N | -buffer-bytes N | -warmup 15s | -stagger 5s
 `)
 }
 

@@ -3,20 +3,31 @@
 // directory (default ./results). It is the driver behind
 // EXPERIMENTS.md.
 //
-//	reproduce [-out DIR] [-scale N] [-seed N] [-quick]
+//	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE]
 //
 // -quick shrinks windows and flow counts for a minutes-long smoke pass;
 // the default tier is EdgeScale plus CoreScale/N (1 Gbps at N=10).
 // Paper-literal scale (10 Gbps, 5000 flows) remains available through
 // `ccatscale <fig> -full`, budgeted in CPU-days.
+//
+// The sweep is fail-safe: a job that errors (or panics) is recorded in
+// the output directory's manifest.json — with a replayable
+// <job>.failed.json when the failure is a core.RunError — and the
+// remaining jobs still run. A later invocation with -resume re-executes
+// only the jobs that have not completed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"ccatscale/internal/core"
@@ -26,15 +37,62 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "results", "output directory")
-	scale := flag.Int("scale", 10, "CoreScale divisor")
-	seed := flag.Uint64("seed", 7, "experiment seed")
-	quick := flag.Bool("quick", false, "shrink windows and flow counts for a fast pass")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// job is one table of the sweep. Each job carries its own Setting copy
+// so per-job overrides (the -panicjob fault drill) cannot leak into
+// other jobs.
+type job struct {
+	name    string
+	setting core.Setting
+	run     func(core.Setting) (*report.Table, error)
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "results", "output directory")
+	scale := fs.Int("scale", 10, "CoreScale divisor")
+	seed := fs.Uint64("seed", 7, "experiment seed")
+	quick := fs.Bool("quick", false, "shrink windows and flow counts for a fast pass")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs")
+	resume := fs.Bool("resume", false, "skip jobs already completed per the output directory's manifest")
+	only := fs.String("only", "", "regexp restricting which jobs run")
+	panicJob := fs.String("panicjob", "", "inject a mid-run panic into the named job (supervisor drill)")
+	wallLimit := fs.Duration("runwall", 0, "wall-clock limit per simulation run (0 = unlimited)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	var onlyRE *regexp.Regexp
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(stderr, "reproduce: bad -only pattern: %v\n", err)
+			return 2
+		}
+		onlyRE = re
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+
+	man, err := loadManifest(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+	if *resume && man != nil {
+		if err := man.compatible(*seed, *scale, *quick); err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+	}
+	if !*resume || man == nil {
+		man = newManifest(*seed, *scale, *quick)
 	}
 
 	edge := core.EdgeScale()
@@ -44,72 +102,188 @@ func main() {
 		corePaper = core.CoreScaleScaled(*scale * 5)
 		corePaper.Warmup, corePaper.Duration, corePaper.Stagger = 5*sim.Second, 20*sim.Second, 2*sim.Second
 	}
+	edge.WallLimit = *wallLimit
+	corePaper.WallLimit = *wallLimit
 
-	type job struct {
-		name string
-		run  func() (*report.Table, error)
-	}
 	mathisTables := func(s core.Setting, label string) []job {
+		mk := func(view mathisView) func(core.Setting) (*report.Table, error) {
+			return func(s core.Setting) (*report.Table, error) {
+				return mathisTable(s, *seed, *parallel, view)
+			}
+		}
 		return []job{
-			{"table1_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, table1View) }},
-			{"fig2_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, fig2View) }},
-			{"fig3_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, fig3View) }},
-			{"burstiness_" + label, func() (*report.Table, error) { return mathisTable(s, *seed, *parallel, burstView) }},
+			{"table1_" + label, s, mk(table1View)},
+			{"fig2_" + label, s, mk(fig2View)},
+			{"fig3_" + label, s, mk(fig3View)},
+			{"burstiness_" + label, s, mk(burstView)},
 		}
 	}
 	var jobs []job
 	jobs = append(jobs, mathisTables(edge, "edge")...)
 	jobs = append(jobs, mathisTables(corePaper, "core")...)
 	jobs = append(jobs,
-		job{"finding4_reno_core", func() (*report.Table, error) {
-			return intraTable(corePaper, "reno", *seed, *parallel)
+		job{"finding4_reno_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return intraTable(s, "reno", *seed, *parallel)
 		}},
-		job{"finding4_cubic_core", func() (*report.Table, error) {
-			return intraTable(corePaper, "cubic", *seed, *parallel)
+		job{"finding4_cubic_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return intraTable(s, "cubic", *seed, *parallel)
 		}},
-		job{"fig4_edge", func() (*report.Table, error) { return intraTable(edge, "bbr", *seed, *parallel) }},
-		job{"fig4_core", func() (*report.Table, error) { return intraTable(corePaper, "bbr", *seed, *parallel) }},
-		job{"fig5_core", func() (*report.Table, error) {
-			return interTable(corePaper, core.EqualSplit, "cubic", "reno", *seed, *parallel)
+		job{"fig4_edge", edge, func(s core.Setting) (*report.Table, error) {
+			return intraTable(s, "bbr", *seed, *parallel)
 		}},
-		job{"fig6_core", func() (*report.Table, error) {
-			return interTable(corePaper, core.OneVersusMany, "bbr", "reno", *seed, *parallel)
+		job{"fig4_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return intraTable(s, "bbr", *seed, *parallel)
 		}},
-		job{"fig7_core", func() (*report.Table, error) {
-			return interTable(corePaper, core.OneVersusMany, "bbr", "cubic", *seed, *parallel)
+		job{"fig5_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return interTable(s, core.EqualSplit, "cubic", "reno", *seed, *parallel)
 		}},
-		job{"fig8_reno_core", func() (*report.Table, error) {
-			return interTable(corePaper, core.EqualSplit, "bbr", "reno", *seed, *parallel)
+		job{"fig6_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return interTable(s, core.OneVersusMany, "bbr", "reno", *seed, *parallel)
 		}},
-		job{"fig8_cubic_core", func() (*report.Table, error) {
-			return interTable(corePaper, core.EqualSplit, "bbr", "cubic", *seed, *parallel)
+		job{"fig7_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return interTable(s, core.OneVersusMany, "bbr", "cubic", *seed, *parallel)
 		}},
-		job{"ext_rttmix_reno_core", func() (*report.Table, error) {
-			return rttmixTable(corePaper, "reno", *seed, *parallel)
+		job{"fig8_reno_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return interTable(s, core.EqualSplit, "bbr", "reno", *seed, *parallel)
 		}},
-		job{"ext_churn_core", func() (*report.Table, error) {
-			return churnTable(corePaper, *seed)
+		job{"fig8_cubic_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return interTable(s, core.EqualSplit, "bbr", "cubic", *seed, *parallel)
+		}},
+		job{"ext_rttmix_reno_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return rttmixTable(s, "reno", *seed, *parallel)
+		}},
+		job{"ext_burstloss_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return burstTable(s, *seed, *parallel)
+		}},
+		job{"ext_outage_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return outageTable(s, *seed, *parallel)
+		}},
+		job{"ext_churn_core", corePaper, func(s core.Setting) (*report.Table, error) {
+			return churnTable(s, *seed)
 		}},
 	)
 
+	injected := false
+	var failed []string
+	ran := 0
 	for _, j := range jobs {
+		if onlyRE != nil && !onlyRE.MatchString(j.name) {
+			continue
+		}
+		if *resume && man.done(*out, j.name) {
+			fmt.Fprintf(stdout, "%-24s %8s  (already done, skipped)\n", j.name, "resume")
+			continue
+		}
+		if *panicJob == j.name {
+			// Fire inside the warm-up of every run of this job: early
+			// enough to fail fast, late enough that the simulation is
+			// genuinely under way when the supervisor catches it.
+			j.setting.FaultPanicAt = sim.Second
+			injected = true
+		}
+		ran++
 		start := time.Now()
-		tab, err := j.run()
+		tab, err := runJob(j)
+		fileName := j.name + ".txt"
+		if err == nil {
+			err = writeTable(filepath.Join(*out, fileName), tab, *seed, start)
+		}
+		wall := time.Since(start)
+		rec := &jobRecord{Wall: wall.Round(time.Millisecond).String()}
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", j.name, err))
+			rec.Status = "failed"
+			rec.Error = err.Error()
+			var re *core.RunError
+			if errors.As(err, &re) {
+				ff := j.name + ".failed.json"
+				if werr := writeFailure(filepath.Join(*out, ff), re); werr != nil {
+					fmt.Fprintf(stderr, "reproduce: %s: writing failure record: %v\n", j.name, werr)
+				} else {
+					rec.FailureFile = ff
+				}
+			}
+			failed = append(failed, j.name)
+			fmt.Fprintf(stderr, "reproduce: %-24s FAILED after %s: %v\n",
+				j.name, wall.Round(time.Second), err)
+		} else {
+			rec.Status = "done"
+			rec.File = fileName
+			fmt.Fprintf(stdout, "%-24s %8s  → %s\n",
+				j.name, wall.Round(time.Second), filepath.Join(*out, fileName))
 		}
-		path := filepath.Join(*out, j.name+".txt")
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
+		man.Jobs[j.name] = rec
+		if err := man.save(*out); err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
 		}
-		if err := tab.WriteText(f); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(f, "\n[seed %d, wall %s]\n", *seed, time.Since(start).Round(time.Millisecond))
-		f.Close()
-		fmt.Printf("%-24s %8s  → %s\n", j.name, time.Since(start).Round(time.Second), path)
 	}
+
+	if *panicJob != "" && !injected {
+		fmt.Fprintf(stderr, "reproduce: -panicjob %q matched no job that ran\n", *panicJob)
+		return 2
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "reproduce: %d of %d jobs failed: %s\n",
+			len(failed), ran, strings.Join(failed, ", "))
+		fmt.Fprintf(stderr, "reproduce: retry just those with -out %s -resume\n", *out)
+		return 1
+	}
+	return 0
+}
+
+// runJob executes one job with a panic net of its own. core.Run already
+// converts simulation panics into *core.RunError; this backstop covers
+// the table-building code outside the supervisor, so no single job can
+// take down the sweep.
+func runJob(j job) (tab *report.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic outside supervisor: %v\n%s", r, debug.Stack())
+		}
+	}()
+	tab, err = j.run(j.setting)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", j.name, err)
+	}
+	return tab, nil
+}
+
+// writeTable writes one result file, checking every step — a partially
+// written table is removed rather than left for -resume to trust.
+func writeTable(path string, tab *report.Table, seed uint64, start time.Time) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tab.WriteText(f)
+	if err == nil {
+		_, err = fmt.Fprintf(f, "\n[seed %d, wall %s]\n", seed, time.Since(start).Round(time.Millisecond))
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeFailure serializes a RunError next to the results so the failed
+// run can be replayed with `ccatscale replay -in <file>`.
+func writeFailure(path string, re *core.RunError) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = re.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
 }
 
 type mathisView int
@@ -188,6 +362,37 @@ func rttmixTable(s core.Setting, cca string, seed uint64, parallel int) (*report
 	return tab, nil
 }
 
+func burstTable(s core.Setting, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.BurstLossSweep(s, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Extension: Gilbert–Elliott burst loss (mean loss %.1f%%) vs iid Mathis prediction",
+			core.BurstMeanLoss*100),
+		"setting", "burst len", "goodput/flow", "iid predict", "measured/model", "drops/halving", "burst drops")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.BurstLen, r.GoodputPerFlow.String(), r.PredictIID.String(),
+			r.ModelRatio, r.DropsPerHalving, r.BurstDrops)
+	}
+	return tab, nil
+}
+
+func outageTable(s core.Setting, seed uint64, parallel int) (*report.Table, error) {
+	rows, err := core.OutageSweep(s, seed, parallel)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(
+		"Extension: link outages (goodput relative to a clean run of the same CCA)",
+		"setting", "cca", "down", "flaps", "goodput", "vs clean %", "RTOs", "outage drops", "JFI")
+	for _, r := range rows {
+		tab.AddRow(r.Setting, r.CCA, r.Down.String(), r.Flaps, r.Goodput.String(),
+			r.GoodputFrac*100, r.RTOs, r.OutageDrops, r.JFI)
+	}
+	return tab, nil
+}
+
 func churnTable(s core.Setting, seed uint64) (*report.Table, error) {
 	tab := report.NewTable("Extension: Poisson flow churn (500 KB transfers)",
 		"load", "arrivals", "completed", "p50FCT_s", "p95FCT_s", "p99FCT_s")
@@ -210,9 +415,4 @@ func churnTable(s core.Setting, seed uint64) (*report.Table, error) {
 			res.P50FCT, res.P95FCT, res.P99FCT)
 	}
 	return tab, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "reproduce:", err)
-	os.Exit(1)
 }

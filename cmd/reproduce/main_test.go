@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/report"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// testSetting is a deliberately tiny regime so the regression tests
+// stay in the seconds range.
+func testSetting() core.Setting {
+	return core.Setting{
+		Name:       "ReproduceTest",
+		Rate:       20 * units.MbitPerSec,
+		Buffer:     256 * units.KB,
+		FlowCounts: []int{2},
+		Warmup:     sim.Second,
+		Duration:   3 * sim.Second,
+		Stagger:    100 * sim.Millisecond,
+	}
+}
+
+// TestMathisTableDeterministic is the repeatability regression: the
+// same seed must yield byte-identical table text, or every "reproduce"
+// claim in EXPERIMENTS.md is void.
+func TestMathisTableDeterministic(t *testing.T) {
+	render := func() string {
+		tab, err := mathisTable(testSetting(), 17, 2, table1View)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same seed, different table text:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "ReproduceTest") {
+		t.Fatalf("table text missing setting name:\n%s", a)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := newManifest(7, 10, true)
+	m.Jobs["fig4_edge"] = &jobRecord{Status: "done", File: "fig4_edge.txt", Wall: "1s"}
+	m.Jobs["fig5_core"] = &jobRecord{Status: "failed", Error: "boom", FailureFile: "fig5_core.failed.json"}
+	if err := m.save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("saved manifest not found")
+	}
+	if got.Seed != 7 || got.Scale != 10 || !got.Quick {
+		t.Fatalf("parameters did not round-trip: %+v", got)
+	}
+	if rec := got.Jobs["fig5_core"]; rec == nil || rec.Status != "failed" || rec.Error != "boom" {
+		t.Fatalf("failed job record did not round-trip: %+v", rec)
+	}
+
+	// done() requires both the manifest entry and the output file.
+	if m.done(dir, "fig4_edge") {
+		t.Fatal("done with no output file on disk")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fig4_edge.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !m.done(dir, "fig4_edge") {
+		t.Fatal("not done despite record + file")
+	}
+	if m.done(dir, "fig5_core") {
+		t.Fatal("failed job reported done")
+	}
+	if m.done(dir, "no_such_job") {
+		t.Fatal("unknown job reported done")
+	}
+}
+
+func TestManifestAbsent(t *testing.T) {
+	m, err := loadManifest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatalf("manifest from empty dir: %+v", m)
+	}
+}
+
+func TestManifestCompatible(t *testing.T) {
+	m := newManifest(7, 10, false)
+	if err := m.compatible(7, 10, false); err != nil {
+		t.Fatalf("matching params rejected: %v", err)
+	}
+	for _, tc := range []struct{ seed uint64; scale int; quick bool }{
+		{8, 10, false}, {7, 20, false}, {7, 10, true},
+	} {
+		if err := m.compatible(tc.seed, tc.scale, tc.quick); err == nil {
+			t.Fatalf("mismatched params %+v accepted", tc)
+		}
+	}
+}
+
+// TestRunIsolationAndResume is the acceptance drill: a job with an
+// injected panic fails with a replayable record, the other selected job
+// still completes, the sweep exits nonzero — and a -resume re-executes
+// only the failed job.
+func TestRunIsolationAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	dir := t.TempDir()
+	base := []string{
+		"-out", dir, "-quick", "-scale", "50", "-seed", "11", "-parallel", "4",
+		"-only", "^ext_(burstloss|churn)_core$",
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(append(base, "-panicjob", "ext_burstloss_core"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "ext_burstloss_core") || !strings.Contains(stderr.String(), "FAILED") {
+		t.Fatalf("stderr missing failure report:\n%s", &stderr)
+	}
+	if !strings.Contains(stdout.String(), "ext_churn_core") {
+		t.Fatalf("healthy job did not run:\n%s", &stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ext_churn_core.txt")); err != nil {
+		t.Fatalf("healthy job output missing: %v", err)
+	}
+
+	m, err := loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after failure: %v, %v", m, err)
+	}
+	if rec := m.Jobs["ext_churn_core"]; rec == nil || rec.Status != "done" {
+		t.Fatalf("churn record: %+v", rec)
+	}
+	rec := m.Jobs["ext_burstloss_core"]
+	if rec == nil || rec.Status != "failed" || rec.FailureFile == "" {
+		t.Fatalf("burstloss record: %+v", rec)
+	}
+
+	// The failure record must carry enough to replay: reason, seed,
+	// virtual time of the injected fault, and the config.
+	f, err := os.Open(filepath.Join(dir, rec.FailureFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := core.ReadRunError(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Reason != "panic" || !strings.Contains(re.PanicMsg, "injected fault") {
+		t.Fatalf("failure record reason/panic: %q / %q", re.Reason, re.PanicMsg)
+	}
+	if re.VirtualTime != sim.Second {
+		t.Fatalf("failure virtual time = %v, want %v", re.VirtualTime, sim.Second)
+	}
+	if re.Config.Seed == 0 || len(re.Config.Flows) == 0 {
+		t.Fatalf("failure record config incomplete: %+v", re.Config)
+	}
+	if re.ReplayCommand() == "" {
+		t.Fatal("failure record has no replay command")
+	}
+
+	// Resume without the fault: only the failed job re-executes.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(append(base, "-resume"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("resume exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "ext_churn_core") || !strings.Contains(stdout.String(), "skipped") {
+		t.Fatalf("resume did not skip the completed job:\n%s", &stdout)
+	}
+	if !strings.Contains(stdout.String(), filepath.Join(dir, "ext_burstloss_core.txt")) {
+		t.Fatalf("resume did not re-execute the failed job:\n%s", &stdout)
+	}
+	m, err = loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after resume: %v, %v", m, err)
+	}
+	if rec := m.Jobs["ext_burstloss_core"]; rec == nil || rec.Status != "done" || rec.Error != "" {
+		t.Fatalf("burstloss record after resume: %+v", rec)
+	}
+	// Manifest is valid JSON on disk (atomic save).
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+}
+
+// TestResumeRefusesMismatchedParams guards against silently mixing
+// tables from different seeds or scales in one output directory.
+func TestResumeRefusesMismatchedParams(t *testing.T) {
+	dir := t.TempDir()
+	m := newManifest(11, 50, true)
+	if err := m.save(dir); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", dir, "-resume", "-quick", "-scale", "50", "-seed", "12",
+		"-only", "^none$"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "incompatible") {
+		t.Fatalf("stderr missing mismatch explanation:\n%s", &stderr)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "("}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -only exit = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	// -panicjob that matches nothing is a usage error, not a silent
+	// no-op drill.
+	stderr.Reset()
+	dir := t.TempDir()
+	if code := run([]string{"-out", dir, "-only", "^none$", "-panicjob", "typo_job"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unmatched -panicjob exit = %d, want 2\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "typo_job") {
+		t.Fatalf("stderr does not name the unmatched job:\n%s", &stderr)
+	}
+}
+
+func TestWriteTableChecksErrors(t *testing.T) {
+	dir := t.TempDir()
+	tab := report.NewTable("stub", "a", "b")
+	tab.AddRow(1, 2)
+	// Happy path writes the footer and closes cleanly.
+	path := filepath.Join(dir, "ok.txt")
+	if err := writeTable(path, tab, 7, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[seed 7, wall ") {
+		t.Fatalf("footer missing:\n%s", data)
+	}
+	// Unwritable path fails loudly instead of being dropped.
+	if err := writeTable(filepath.Join(dir, "no/such/dir/x.txt"), tab, 7, time.Now()); err == nil {
+		t.Fatal("writeTable to missing directory succeeded")
+	}
+}

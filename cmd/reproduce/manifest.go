@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestFile is the checkpoint the sweep keeps in its output
+// directory: which jobs completed, which failed and why. -resume reads
+// it to skip finished tables and re-execute only the rest.
+const manifestFile = "manifest.json"
+
+// manifest records a sweep's parameters and per-job outcomes. The
+// parameters are part of the record because resuming under a different
+// seed or scale would silently mix incompatible tables.
+type manifest struct {
+	Version int             `json:"version"`
+	Seed    uint64          `json:"seed"`
+	Scale   int             `json:"scale"`
+	Quick   bool            `json:"quick"`
+	Jobs    map[string]*jobRecord `json:"jobs"`
+}
+
+// jobRecord is one job's outcome.
+type jobRecord struct {
+	// Status is "done" or "failed".
+	Status string `json:"status"`
+	// File is the output table, relative to the output directory.
+	File string `json:"file,omitempty"`
+	// Wall is the job's wall-clock duration.
+	Wall string `json:"wall,omitempty"`
+	// Error holds the failure summary for failed jobs.
+	Error string `json:"error,omitempty"`
+	// FailureFile points at the serialized RunError (replayable via
+	// `ccatscale replay -in`), relative to the output directory.
+	FailureFile string `json:"failureFile,omitempty"`
+}
+
+func newManifest(seed uint64, scale int, quick bool) *manifest {
+	return &manifest{
+		Version: 1,
+		Seed:    seed,
+		Scale:   scale,
+		Quick:   quick,
+		Jobs:    map[string]*jobRecord{},
+	}
+}
+
+// loadManifest reads the checkpoint from dir. A missing file returns
+// (nil, nil): nothing to resume.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corrupt %s: %w", manifestFile, err)
+	}
+	if m.Jobs == nil {
+		m.Jobs = map[string]*jobRecord{}
+	}
+	return &m, nil
+}
+
+// compatible reports whether a resume under the given parameters can
+// reuse this manifest's completed jobs.
+func (m *manifest) compatible(seed uint64, scale int, quick bool) error {
+	if m.Seed != seed || m.Scale != scale || m.Quick != quick {
+		return fmt.Errorf("manifest was written by -seed %d -scale %d -quick=%v; "+
+			"resuming with -seed %d -scale %d -quick=%v would mix incompatible tables "+
+			"(use a fresh -out directory or matching flags)",
+			m.Seed, m.Scale, m.Quick, seed, scale, quick)
+	}
+	return nil
+}
+
+// done reports whether the named job completed and its output file is
+// still present in dir.
+func (m *manifest) done(dir, name string) bool {
+	rec, ok := m.Jobs[name]
+	if !ok || rec.Status != "done" || rec.File == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, rec.File))
+	return err == nil
+}
+
+// save checkpoints the manifest atomically (temp file + rename), so a
+// sweep killed mid-write never leaves a corrupt checkpoint behind.
+func (m *manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, manifestFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, manifestFile))
+}

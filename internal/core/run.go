@@ -9,8 +9,10 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"ccatscale/internal/cca"
 	"ccatscale/internal/metrics"
@@ -66,6 +68,25 @@ type RunConfig struct {
 	// Jitter adds uniform random delay in [0, Jitter) per data packet
 	// on the forward path (netem-style).
 	Jitter sim.Time
+	// BurstLoss applies Gilbert–Elliott burst loss on the forward path
+	// (nil = off). Unlike RandomLoss, drops arrive in correlated bursts
+	// — the regime where the independent-loss throughput models break.
+	BurstLoss *BurstLossSpec
+	// Outage schedules deterministic link outages on the forward path
+	// (nil = none).
+	Outage *OutageSpec
+	// FaultPanicAt, when positive, deliberately panics inside the event
+	// loop at this virtual time. It exists to drill the run supervisor
+	// end to end (tests, and reproduce -panicjob): the panic must
+	// surface as a *RunError, not a crashed process.
+	FaultPanicAt sim.Time
+	// WallLimit bounds the run's wall-clock time; when exceeded the
+	// supervisor stops the engine and returns a *RunError (0 = off).
+	WallLimit time.Duration
+	// StallEvents stops the run with a *RunError when the virtual clock
+	// fails to advance across this many consecutive events — a livelock
+	// guard for zero-delay event loops (0 = off).
+	StallEvents uint64
 	// Converge, when positive, enables the paper's early-stop rule:
 	// the run ends once aggregate goodput changes by less than
 	// ConvergeTolerance across consecutive windows of this length.
@@ -123,6 +144,19 @@ func (c *RunConfig) validate() error {
 	case "", "droptail", "codel":
 	default:
 		return fmt.Errorf("core: unknown AQM %q", c.AQM)
+	}
+	if c.BurstLoss != nil {
+		if err := c.BurstLoss.validate(); err != nil {
+			return err
+		}
+	}
+	if c.Outage != nil {
+		if err := c.Outage.validate(); err != nil {
+			return err
+		}
+	}
+	if c.FaultPanicAt < 0 {
+		return fmt.Errorf("core: negative fault-injection time")
 	}
 	for i, f := range c.Flows {
 		if f.RTT <= 0 {
@@ -190,6 +224,12 @@ type RunResult struct {
 	// RandomDrops counts netem-style forward-path losses over the
 	// whole run (0 unless RandomLoss is configured).
 	RandomDrops uint64
+	// BurstDrops counts Gilbert–Elliott forward-path losses over the
+	// whole run (0 unless BurstLoss is configured).
+	BurstDrops uint64
+	// OutageDrops counts packets lost to link outages over the whole
+	// run (0 unless Outage is configured with the drop policy).
+	OutageDrops uint64
 	// DropBurstiness is the Goh–Barabási score over window drop times.
 	DropBurstiness float64
 	// Events is the number of simulator events processed (for
@@ -215,8 +255,13 @@ type flowSnap struct {
 	deliveredTx units.ByteCount // sender-side delivered counter
 }
 
-// Run executes one experiment and returns its results.
-func Run(cfg RunConfig) (RunResult, error) {
+// Run executes one experiment under the run supervisor and returns its
+// results. Invariant panics anywhere in the simulation stack and
+// watchdog stops (WallLimit, StallEvents) surface as a *RunError
+// carrying the seed, config snapshot, virtual time, and event count —
+// enough to replay the failure in one command — rather than crashing
+// the process.
+func Run(cfg RunConfig) (res RunResult, err error) {
 	if err := cfg.validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -224,6 +269,59 @@ func Run(cfg RunConfig) (RunResult, error) {
 
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
+
+	wallStart := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{}
+			err = &RunError{
+				Reason:      "panic",
+				Seed:        cfg.Seed,
+				VirtualTime: eng.Now(),
+				Events:      eng.Processed(),
+				Wall:        time.Since(wallStart),
+				PanicMsg:    fmt.Sprint(r),
+				Stack:       string(debug.Stack()),
+				Config:      cfg,
+			}
+		}
+	}()
+
+	// Watchdogs: a wall-clock budget and a virtual-time progress guard,
+	// checked from the engine's interrupt hook so a stalled or runaway
+	// run ends via Engine.Stop instead of hanging forever.
+	var watchdogReason string
+	if cfg.WallLimit > 0 || cfg.StallEvents > 0 {
+		const wallCheckEvery = 1 << 13
+		every := uint64(wallCheckEvery)
+		if cfg.StallEvents > 0 && cfg.StallEvents < every {
+			every = cfg.StallEvents
+		}
+		lastNow := sim.Time(-1)
+		var lastAdvance uint64
+		eng.SetInterrupt(every, func() {
+			if cfg.WallLimit > 0 && time.Since(wallStart) > cfg.WallLimit {
+				watchdogReason = fmt.Sprintf("wall-clock limit exceeded (%v)", cfg.WallLimit)
+				eng.Stop()
+				return
+			}
+			if cfg.StallEvents > 0 {
+				if eng.Now() > lastNow {
+					lastNow = eng.Now()
+					lastAdvance = eng.Processed()
+				} else if eng.Processed()-lastAdvance >= cfg.StallEvents {
+					watchdogReason = fmt.Sprintf("virtual-time stall (%d events at %v)",
+						eng.Processed()-lastAdvance, eng.Now())
+					eng.Stop()
+				}
+			}
+		})
+	}
+	if cfg.FaultPanicAt > 0 {
+		eng.Schedule(cfg.FaultPanicAt, func() {
+			panic(fmt.Sprintf("core: injected fault at %v (FaultPanicAt)", cfg.FaultPanicAt))
+		})
+	}
 
 	qlog := trace.NewQueueLog(cfg.MaxDropTimestamps)
 	qlog.SetWindowStart(cfg.Warmup)
@@ -259,8 +357,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 			GROWindow:   cfg.GROWindow,
 		}, db.SendAck)
 	}
+	// Forward-path impairment chain, innermost first: the receiver,
+	// then netem-style iid loss/jitter, then Gilbert–Elliott burst
+	// loss, then the link outage schedule outermost (a dark link is
+	// dark for everything behind it).
 	toReceiver := func(p packet.Packet) { receivers[p.Flow].OnData(p) }
-	var randomDrops uint64
+	var randomDrops, burstDrops, outageDrops uint64
 	if cfg.RandomLoss > 0 || cfg.Jitter > 0 {
 		imp := netem.NewImpairment(eng, rng.Split(), netem.ImpairmentConfig{
 			LossProb: cfg.RandomLoss,
@@ -268,6 +370,24 @@ func Run(cfg RunConfig) (RunResult, error) {
 			OnDrop:   func(sim.Time, packet.Packet) { randomDrops++ },
 		}, toReceiver)
 		toReceiver = imp.Send
+	}
+	if cfg.BurstLoss != nil {
+		geCfg := cfg.BurstLoss.gilbert()
+		geCfg.OnDrop = func(sim.Time, packet.Packet) { burstDrops++ }
+		ge := netem.NewGilbertElliott(eng, rng.Split(), geCfg, toReceiver)
+		toReceiver = ge.Send
+	}
+	if cfg.Outage != nil {
+		policy := netem.OutageDrop
+		if cfg.Outage.Hold {
+			policy = netem.OutageHold
+		}
+		out := netem.NewOutage(eng, netem.OutageConfig{
+			Windows: cfg.Outage.windows(),
+			Policy:  policy,
+			OnDrop:  func(sim.Time, packet.Packet) { outageDrops++ },
+		}, toReceiver)
+		toReceiver = out.Send
 	}
 	db.SetEndpoints(
 		toReceiver,
@@ -341,12 +461,22 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	stopAt := eng.Run(end)
+	if watchdogReason != "" {
+		return RunResult{}, &RunError{
+			Reason:      watchdogReason,
+			Seed:        cfg.Seed,
+			VirtualTime: eng.Now(),
+			Events:      eng.Processed(),
+			Wall:        time.Since(wallStart),
+			Config:      cfg,
+		}
+	}
 	window := stopAt - cfg.Warmup
 	if window <= 0 {
 		return RunResult{}, fmt.Errorf("core: run ended before warm-up completed")
 	}
 
-	res := RunResult{
+	res = RunResult{
 		Config:      cfg,
 		Window:      window,
 		Converged:   converged,
@@ -361,6 +491,8 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	res.DropBurstiness = metrics.Burstiness(qlog.TimesSeconds())
 	res.RandomDrops = randomDrops
+	res.BurstDrops = burstDrops
+	res.OutageDrops = outageDrops
 	if series != nil {
 		res.SeriesNames = seriesNames
 		res.Series = series.Points()

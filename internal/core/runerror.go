@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"ccatscale/internal/sim"
+)
+
+// RunError is the structured failure record of the run supervisor.
+// Every invariant panic inside the simulation stack and every watchdog
+// stop is converted into one of these, carrying enough context — seed,
+// full config snapshot, virtual time, event count — to replay the
+// failing run in one command. It is JSON-serializable so batch drivers
+// (cmd/reproduce) can checkpoint failures to disk next to the results
+// they did not produce.
+type RunError struct {
+	// Reason classifies the failure: "panic", "wall-clock limit
+	// exceeded", or "virtual-time stall".
+	Reason string `json:"reason"`
+	// Seed is the run's RNG seed.
+	Seed uint64 `json:"seed"`
+	// VirtualTime is the simulation clock at the moment of failure.
+	VirtualTime sim.Time `json:"virtualTimeNs"`
+	// Events is the number of simulator events processed before the
+	// failure.
+	Events uint64 `json:"events"`
+	// Wall is the wall-clock duration the run had consumed.
+	Wall time.Duration `json:"wallNs"`
+	// PanicMsg is the panic value's string form (empty for watchdog
+	// stops).
+	PanicMsg string `json:"panic,omitempty"`
+	// Stack is the goroutine stack at the panic site (empty for
+	// watchdog stops).
+	Stack string `json:"stack,omitempty"`
+	// Config is the complete configuration of the failed run; replaying
+	// it with the same seed reproduces the failure bit-for-bit.
+	Config RunConfig `json:"config"`
+}
+
+// Error summarizes the failure with its replay context on one line.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: run failed: %s", e.Reason)
+	if e.PanicMsg != "" {
+		fmt.Fprintf(&b, ": %s", e.PanicMsg)
+	}
+	fmt.Fprintf(&b, " [seed=%d vt=%v events=%d flows=%s]",
+		e.Seed, e.VirtualTime, e.Events, flowsSummary(e.Config.Flows))
+	fmt.Fprintf(&b, "; replay: %s", e.ReplayCommand())
+	return b.String()
+}
+
+// flowsSummary renders a compact count-by-CCA description, e.g.
+// "100 (50 cubic, 50 reno)".
+func flowsSummary(flows []FlowSpec) string {
+	counts := map[string]int{}
+	for _, f := range flows {
+		counts[f.CCA]++
+	}
+	if len(counts) <= 1 {
+		for cca := range counts {
+			return fmt.Sprintf("%d %s", len(flows), cca)
+		}
+		return "0"
+	}
+	names := make([]string, 0, len(counts))
+	for cca := range counts {
+		names = append(names, cca)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, cca := range names {
+		parts[i] = fmt.Sprintf("%d %s", counts[cca], cca)
+	}
+	return fmt.Sprintf("%d (%s)", len(flows), strings.Join(parts, ", "))
+}
+
+// FlowsSpec renders flows in the ccatscale -flows syntax
+// ("4xbbr@20ms,4xcubic@100ms"), grouping consecutive identical specs.
+// The rendering is exact: parsing it back yields the same flow list in
+// the same order.
+func FlowsSpec(flows []FlowSpec) string {
+	var b strings.Builder
+	for i := 0; i < len(flows); {
+		j := i
+		for j < len(flows) && flows[j] == flows[i] {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dx%s@%v", j-i, flows[i].CCA, flows[i].RTT)
+		i = j
+	}
+	return b.String()
+}
+
+// maxReplayGroups bounds the -flows form of ReplayCommand: interleaved
+// mixes at scale group poorly (5000 alternating flows are 5000 groups),
+// and those runs replay from the serialized failure record instead.
+const maxReplayGroups = 8
+
+// ReplayCommand returns a one-line command that reproduces the failing
+// run. Compact configurations replay through explicit ccatscale flags;
+// configurations that do not fit a command line (large interleaved flow
+// mixes) replay from the JSON failure record written next to the
+// sweep's results ("ccatscale replay -in <job>.failed.json").
+func (e *RunError) ReplayCommand() string {
+	cfg := e.Config
+	groups := 0
+	for i := 0; i < len(cfg.Flows); {
+		j := i
+		for j < len(cfg.Flows) && cfg.Flows[j] == cfg.Flows[i] {
+			j++
+		}
+		groups++
+		i = j
+	}
+	if groups > maxReplayGroups {
+		return "ccatscale replay -in <job>.failed.json"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ccatscale run -flows %s -rate-bps %d -buffer-bytes %d -seed %d",
+		FlowsSpec(cfg.Flows), int64(cfg.Rate), int64(cfg.Buffer), e.Seed)
+	if cfg.Warmup > 0 {
+		fmt.Fprintf(&b, " -warmup %v", cfg.Warmup)
+	}
+	if cfg.Duration > 0 {
+		fmt.Fprintf(&b, " -duration %v", cfg.Duration)
+	}
+	if cfg.Stagger > 0 {
+		fmt.Fprintf(&b, " -stagger %v", cfg.Stagger)
+	}
+	if cfg.Converge > 0 {
+		fmt.Fprintf(&b, " -converge %v", cfg.Converge)
+	}
+	if cfg.AQM != "" {
+		fmt.Fprintf(&b, " -aqm %s", cfg.AQM)
+	}
+	if cfg.BurstLoss != nil {
+		fmt.Fprintf(&b, " -burst %s", cfg.BurstLoss)
+	}
+	if cfg.Outage != nil {
+		fmt.Fprintf(&b, " -outage %s", cfg.Outage)
+	}
+	if cfg.FaultPanicAt > 0 {
+		fmt.Fprintf(&b, " -panic-at %v", cfg.FaultPanicAt)
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the failure record (indented, stable field
+// order) for checkpointing next to sweep results.
+func (e *RunError) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadRunError deserializes a failure record written by WriteJSON.
+func ReadRunError(r io.Reader) (*RunError, error) {
+	var e RunError
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("core: decoding failure record: %w", err)
+	}
+	return &e, nil
+}

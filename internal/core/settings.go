@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
@@ -32,6 +33,21 @@ type Setting struct {
 	// AQM overrides the bottleneck discipline for every run of the
 	// setting ("" = drop-tail, the paper's configuration).
 	AQM string
+	// BurstLoss applies Gilbert–Elliott burst loss to every run of the
+	// setting (nil = off).
+	BurstLoss *BurstLossSpec
+	// Outage applies a link outage schedule to every run of the setting
+	// (nil = none).
+	Outage *OutageSpec
+	// WallLimit bounds each run's wall-clock time (0 = unlimited).
+	WallLimit time.Duration
+	// StallEvents enables the virtual-time stall guard per run
+	// (0 = disabled).
+	StallEvents uint64
+	// FaultPanicAt, when positive, injects a panic into every run of
+	// the setting at this virtual time — the supervisor drill behind
+	// reproduce -panicjob.
+	FaultPanicAt sim.Time
 }
 
 // RTTs are the three base round-trip times every fairness figure sweeps.
@@ -99,14 +115,19 @@ func CoreScaleScaled(divisor int) Setting {
 // seed.
 func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
 	return RunConfig{
-		Rate:     s.Rate,
-		Buffer:   s.Buffer,
-		Flows:    flows,
-		Warmup:   s.Warmup,
-		Duration: s.Duration,
-		Stagger:  s.Stagger,
-		Converge: s.Converge,
-		AQM:      s.AQM,
-		Seed:     seed,
+		Rate:         s.Rate,
+		Buffer:       s.Buffer,
+		Flows:        flows,
+		Warmup:       s.Warmup,
+		Duration:     s.Duration,
+		Stagger:      s.Stagger,
+		Converge:     s.Converge,
+		AQM:          s.AQM,
+		Seed:         seed,
+		BurstLoss:    s.BurstLoss,
+		Outage:       s.Outage,
+		WallLimit:    s.WallLimit,
+		StallEvents:  s.StallEvents,
+		FaultPanicAt: s.FaultPanicAt,
 	}
 }

@@ -67,6 +67,73 @@ func TestImpairmentJitterRange(t *testing.T) {
 	}
 }
 
+// TestImpairmentJitterReorders documents the element's netem-faithful
+// behavior: jitter larger than the packet spacing reorders packets,
+// because (like tc-netem without a reorder-correction queue) each
+// packet draws an independent delay.
+func TestImpairmentJitterReorders(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []int64
+	im := NewImpairment(eng, sim.NewRNG(4), ImpairmentConfig{Jitter: 10 * sim.Millisecond},
+		func(p packet.Packet) { arrivals = append(arrivals, p.Seq) })
+	// Packets enter 1 ms apart with up to 10 ms of jitter: any packet
+	// can overtake up to ~9 predecessors.
+	const n = 500
+	for i := 0; i < n; i++ {
+		seq := int64(i)
+		eng.Schedule(sim.Time(i)*sim.Millisecond, func() {
+			im.Send(packet.Packet{Seq: seq})
+		})
+	}
+	eng.Run(10 * sim.Second)
+	if len(arrivals) != n {
+		t.Fatalf("delivered %d of %d packets", len(arrivals), n)
+	}
+	if im.Passed() != n || im.Dropped() != 0 {
+		t.Fatalf("counters: passed %d dropped %d, want %d/0", im.Passed(), im.Dropped(), n)
+	}
+	seen := make([]bool, n)
+	inversions := 0
+	for i, seq := range arrivals {
+		if seq < 0 || seq >= n || seen[seq] {
+			t.Fatalf("arrival %d: bad or duplicate seq %d", i, seq)
+		}
+		seen[seq] = true
+		if i > 0 && seq < arrivals[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("10ms jitter over 1ms spacing produced no reordering")
+	}
+	t.Logf("%d adjacent inversions across %d packets", inversions, n)
+}
+
+// TestImpairmentJitterKeepsOrderWhenSmall is the complement: jitter
+// strictly smaller than the packet spacing cannot reorder.
+func TestImpairmentJitterKeepsOrderWhenSmall(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []int64
+	im := NewImpairment(eng, sim.NewRNG(5), ImpairmentConfig{Jitter: sim.Millisecond},
+		func(p packet.Packet) { arrivals = append(arrivals, p.Seq) })
+	const n = 200
+	for i := 0; i < n; i++ {
+		seq := int64(i)
+		eng.Schedule(sim.Time(i)*2*sim.Millisecond, func() {
+			im.Send(packet.Packet{Seq: seq})
+		})
+	}
+	eng.Run(10 * sim.Second)
+	if len(arrivals) != n {
+		t.Fatalf("delivered %d of %d packets", len(arrivals), n)
+	}
+	for i, seq := range arrivals {
+		if seq != int64(i) {
+			t.Fatalf("arrival %d: seq %d out of order despite sub-spacing jitter", i, seq)
+		}
+	}
+}
+
 func TestImpairmentDropCallback(t *testing.T) {
 	eng := sim.NewEngine()
 	drops := 0

@@ -1,0 +1,163 @@
+package netem
+
+import (
+	"fmt"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// OutageWindow is one interval of virtual time [Start, End) during
+// which the link is dark.
+type OutageWindow struct {
+	Start, End sim.Time
+}
+
+// OutagePolicy selects what happens to packets offered while the link
+// is dark.
+type OutagePolicy int
+
+const (
+	// OutageDrop discards packets arriving during an outage — the
+	// behavior of a pulled cable or a wireless deep fade.
+	OutageDrop OutagePolicy = iota
+	// OutageHold parks arriving packets (up to HoldCapacity) and
+	// releases them in order at the outage's end — the behavior of an
+	// upstream buffer that keeps queueing while the interface is down.
+	OutageHold
+)
+
+// OutageConfig describes a deterministic link outage/flap schedule.
+type OutageConfig struct {
+	// Windows are the dark intervals, sorted by Start and
+	// non-overlapping.
+	Windows []OutageWindow
+	// Policy selects drop vs hold (default OutageDrop).
+	Policy OutagePolicy
+	// HoldCapacity caps held wire bytes under OutageHold; beyond it
+	// packets tail-drop. 0 means unlimited.
+	HoldCapacity units.ByteCount
+	// OnDrop observes outage drops; may be nil.
+	OnDrop DropFunc
+}
+
+// Flaps builds a periodic flap schedule: count outages of length down,
+// the first starting at first, subsequent ones every period.
+func Flaps(first, down, period sim.Time, count int) []OutageWindow {
+	if count <= 0 || down <= 0 {
+		return nil
+	}
+	if period <= 0 {
+		count = 1
+	}
+	out := make([]OutageWindow, 0, count)
+	for i := 0; i < count; i++ {
+		start := first + sim.Time(i)*period
+		out = append(out, OutageWindow{Start: start, End: start + down})
+	}
+	return out
+}
+
+// Outage is the link-outage impairment element. Unlike the stochastic
+// elements, its schedule is part of the configuration, so runs are
+// deterministic without consuming any randomness — two runs with the
+// same schedule see bit-identical dark periods.
+type Outage struct {
+	eng *sim.Engine
+	out Sink
+	cfg OutageConfig
+
+	idx       int // first window whose End is still in the future
+	held      []packet.Packet
+	heldBytes units.ByteCount
+
+	passed  uint64
+	dropped uint64
+	flushed uint64
+}
+
+// NewOutage creates the element delivering into out. The schedule must
+// lie entirely at or after the engine's current time.
+func NewOutage(eng *sim.Engine, cfg OutageConfig, out Sink) *Outage {
+	if out == nil {
+		panic("netem: outage without sink")
+	}
+	if cfg.HoldCapacity < 0 {
+		panic("netem: negative outage hold capacity")
+	}
+	for i, w := range cfg.Windows {
+		if w.End <= w.Start {
+			panic(fmt.Sprintf("netem: outage window %d is empty or inverted (%v..%v)", i, w.Start, w.End))
+		}
+		if w.Start < eng.Now() {
+			panic(fmt.Sprintf("netem: outage window %d starts in the past", i))
+		}
+		if i > 0 && w.Start < cfg.Windows[i-1].End {
+			panic(fmt.Sprintf("netem: outage windows %d and %d overlap or are unsorted", i-1, i))
+		}
+	}
+	o := &Outage{eng: eng, out: out, cfg: cfg}
+	if cfg.Policy == OutageHold {
+		// Release held packets at each window's end. The flush events
+		// are scheduled up front, so they carry earlier sequence numbers
+		// than any packet event at the same timestamp and FIFO order is
+		// preserved for traffic arriving exactly at End.
+		for _, w := range cfg.Windows {
+			o.eng.Schedule(w.End, o.flush)
+		}
+	}
+	return o
+}
+
+// Dark reports whether the link is dark at time t. t must be
+// non-decreasing across calls (virtual time is).
+func (o *Outage) Dark(t sim.Time) bool {
+	for o.idx < len(o.cfg.Windows) && o.cfg.Windows[o.idx].End <= t {
+		o.idx++
+	}
+	return o.idx < len(o.cfg.Windows) && t >= o.cfg.Windows[o.idx].Start
+}
+
+// Send offers one packet to the link.
+func (o *Outage) Send(p packet.Packet) {
+	if !o.Dark(o.eng.Now()) {
+		o.passed++
+		o.out(p)
+		return
+	}
+	if o.cfg.Policy == OutageHold {
+		if o.cfg.HoldCapacity == 0 || o.heldBytes+p.WireBytes() <= o.cfg.HoldCapacity {
+			o.held = append(o.held, p)
+			o.heldBytes += p.WireBytes()
+			return
+		}
+	}
+	o.dropped++
+	if o.cfg.OnDrop != nil {
+		o.cfg.OnDrop(o.eng.Now(), p)
+	}
+}
+
+// flush releases every held packet in arrival order.
+func (o *Outage) flush() {
+	held := o.held
+	o.held = nil
+	o.heldBytes = 0
+	for _, p := range held {
+		o.flushed++
+		o.out(p)
+	}
+}
+
+// Passed returns packets delivered while the link was up.
+func (o *Outage) Passed() uint64 { return o.passed }
+
+// Dropped returns packets discarded during outages.
+func (o *Outage) Dropped() uint64 { return o.dropped }
+
+// Flushed returns held packets released at outage ends.
+func (o *Outage) Flushed() uint64 { return o.flushed }
+
+// Held returns the packets currently parked.
+func (o *Outage) Held() int { return len(o.held) }

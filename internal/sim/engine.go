@@ -116,6 +116,11 @@ type Engine struct {
 	// processed counts events executed so far; useful for progress
 	// reporting and for sanity limits in tests.
 	processed uint64
+
+	// interruptEvery/interruptFn implement the supervisor hook: Run
+	// calls interruptFn after every interruptEvery-th processed event.
+	interruptEvery uint64
+	interruptFn    func()
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -159,6 +164,29 @@ func (e *Engine) After(d Time, fn func()) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether Stop was called during the current or most
+// recent Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetInterrupt installs a supervisor hook: Run invokes fn after every
+// every-th processed event. The hook exists for watchdogs — checking a
+// wall-clock budget or detecting a stalled virtual clock — which then
+// end the run gracefully via Stop instead of aborting the process. A
+// zero interval or nil fn removes the hook.
+//
+// The hook must not schedule or cancel events; it observes and stops.
+// Because it runs on the event-loop thread at deterministic points, a
+// hook that inspects only virtual state cannot perturb determinism;
+// one that inspects wall-clock time trades determinism for liveness
+// only in the runs it actually stops.
+func (e *Engine) SetInterrupt(every uint64, fn func()) {
+	if every == 0 || fn == nil {
+		e.interruptEvery, e.interruptFn = 0, nil
+		return
+	}
+	e.interruptEvery, e.interruptFn = every, fn
+}
+
 // Run executes events in timestamp order until the queue is empty, the
 // next event lies beyond horizon, or Stop is called. It returns the
 // virtual time at which execution stopped: the horizon if it was
@@ -181,6 +209,9 @@ func (e *Engine) Run(horizon Time) Time {
 		e.now = next.at
 		e.processed++
 		next.fn()
+		if e.interruptEvery > 0 && e.processed%e.interruptEvery == 0 {
+			e.interruptFn()
+		}
 	}
 	if !e.stopped && e.now < horizon && horizon != MaxTime {
 		// Queue drained before the horizon: advance the clock so

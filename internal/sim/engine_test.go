@@ -306,3 +306,56 @@ func TestRunResumesAfterHorizonRepeatedly(t *testing.T) {
 		}
 	}
 }
+
+func TestSetInterruptCadence(t *testing.T) {
+	eng := NewEngine()
+	for i := 1; i <= 100; i++ {
+		eng.Schedule(Time(i), func() {})
+	}
+	calls := 0
+	eng.SetInterrupt(10, func() { calls++ })
+	eng.Run(1000)
+	if calls != 10 {
+		t.Fatalf("interrupt fired %d times over 100 events at every=10, want 10", calls)
+	}
+}
+
+func TestSetInterruptCanStopRun(t *testing.T) {
+	eng := NewEngine()
+	executed := 0
+	var reschedule func()
+	reschedule = func() {
+		executed++
+		eng.After(1, reschedule) // self-sustaining load: would run forever
+	}
+	eng.After(1, reschedule)
+	eng.SetInterrupt(25, func() {
+		if eng.Processed() >= 50 {
+			eng.Stop()
+		}
+	})
+	end := eng.Run(MaxTime)
+	if executed != 50 {
+		t.Fatalf("executed %d events, want the watchdog to stop at 50", executed)
+	}
+	if !eng.Stopped() {
+		t.Fatal("Stopped() = false after watchdog stop")
+	}
+	if end != eng.Now() {
+		t.Fatalf("Run returned %v, Now() = %v", end, eng.Now())
+	}
+}
+
+func TestSetInterruptRemoval(t *testing.T) {
+	eng := NewEngine()
+	for i := 1; i <= 20; i++ {
+		eng.Schedule(Time(i), func() {})
+	}
+	calls := 0
+	eng.SetInterrupt(1, func() { calls++ })
+	eng.SetInterrupt(0, nil)
+	eng.Run(1000)
+	if calls != 0 {
+		t.Fatalf("removed interrupt still fired %d times", calls)
+	}
+}
