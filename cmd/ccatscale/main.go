@@ -75,6 +75,8 @@ func main() {
 		burst    = fs.String("burst", "", "Gilbert–Elliott burst loss \"meanLoss,meanBurstLen\" (e.g. 0.005,8)")
 		outage   = fs.String("outage", "", "link outage schedule \"start,down,period,count[,hold]\" (e.g. 2s,1s,10s,3)")
 		panicAt  = fs.Duration("panic-at", 0, "inject a panic at this virtual time (supervisor drill)")
+		auditPol = fs.String("audit", "", "invariant auditing: off (default), warn, or strict")
+		auditAt  = fs.Duration("audit-drill", 0, "corrupt queue accounting at this virtual time (auditor drill; needs -audit)")
 		inFile   = fs.String("in", "", "failure record for the replay experiment")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -117,6 +119,10 @@ func main() {
 	}
 	if *panicAt > 0 {
 		setting.FaultPanicAt = sim.Duration(*panicAt)
+	}
+	setting.Audit = *auditPol
+	if *auditAt > 0 {
+		setting.AuditDrillAt = sim.Duration(*auditAt)
 	}
 	rtts := core.RTTs
 	if *rttFlag != "" {
@@ -374,9 +380,13 @@ func runCustom(s core.Setting, spec string, seed uint64) (*report.Table, error) 
 	if err != nil {
 		return nil, err
 	}
-	tab := report.NewTable(
-		fmt.Sprintf("Custom run: %s (JFI %.3f, util %.3f, drops %d, burstiness %.3f)",
-			spec, res.JFI(), res.Utilization, res.TotalDrops, res.DropBurstiness),
+	title := fmt.Sprintf("Custom run: %s (JFI %.3f, util %.3f, drops %d, burstiness %.3f)",
+		spec, res.JFI(), res.Utilization, res.TotalDrops, res.DropBurstiness)
+	if res.AuditViolations > 0 {
+		title += fmt.Sprintf(" [AUDIT: %d violations, first: %v]",
+			res.AuditViolations, res.AuditViolationSample[0].Error())
+	}
+	tab := report.NewTable(title,
 		"flow", "cca", "rtt", "goodput", "loss%", "halve%", "meanRTT")
 	for i, f := range res.Flows {
 		tab.AddRow(i, f.Spec.CCA, f.Spec.RTT.String(), f.Goodput.String(),
@@ -504,6 +514,10 @@ flags: -scale N | -full | -edge | -rtt 20ms | -seed N | -parallel N | -csv | -du
 fault injection (run/burstloss/outage): -burst meanLoss,meanBurstLen |
 -outage start,down,period,count[,hold] | -panic-at 5s (supervisor drill);
 replay overrides: -rate-bps N | -buffer-bytes N | -warmup 15s | -stagger 5s
+
+self-verification: -audit warn|strict enables the invariant auditor
+(conservation ledgers, TCP/CCA state checks); -audit-drill 5s corrupts
+queue accounting at that virtual time to prove the ledger catches it.
 `)
 }
 

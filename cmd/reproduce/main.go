@@ -3,7 +3,7 @@
 // directory (default ./results). It is the driver behind
 // EXPERIMENTS.md.
 //
-//	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE]
+//	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE] [-audit strict]
 //
 // -quick shrinks windows and flow counts for a minutes-long smoke pass;
 // the default tier is EdgeScale plus CoreScale/N (1 Gbps at N=10).
@@ -61,6 +61,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "regexp restricting which jobs run")
 	panicJob := fs.String("panicjob", "", "inject a mid-run panic into the named job (supervisor drill)")
 	wallLimit := fs.Duration("runwall", 0, "wall-clock limit per simulation run (0 = unlimited)")
+	auditPol := fs.String("audit", "", "invariant auditing for every run: off (default), warn, or strict")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -104,6 +105,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	edge.WallLimit = *wallLimit
 	corePaper.WallLimit = *wallLimit
+	edge.Audit = *auditPol
+	corePaper.Audit = *auditPol
 
 	mathisTables := func(s core.Setting, label string) []job {
 		mk := func(view mathisView) func(core.Setting) (*report.Table, error) {

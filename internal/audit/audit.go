@@ -1,0 +1,168 @@
+// Package audit is the self-verification layer of the simulator: a set
+// of invariant checks wired as observers into the engine, the netem
+// substrate, the TCP transport, and the congestion controllers. Every
+// reported number in this repository rests on the simulator conserving
+// bytes and keeping TCP sequence space sane; the auditor turns silent
+// accounting corruption into loud, structured, replayable failures.
+//
+// The auditor is an observer by construction: it never mutates
+// simulation state and all of its checks read only virtual state, so an
+// audited run is bit-identical to an unaudited run up to the moment a
+// violation fires. That property is what allows the same seed to
+// reproduce a violation under replay.
+package audit
+
+import (
+	"fmt"
+
+	"ccatscale/internal/sim"
+)
+
+// Policy selects what happens when an invariant check fails.
+type Policy int
+
+const (
+	// PolicyOff disables all auditing (the zero value).
+	PolicyOff Policy = iota
+	// PolicyWarn records violations and lets the run continue; the run
+	// result reports the count and a sample of violations.
+	PolicyWarn
+	// PolicyStrict fails the run at the first violation by panicking
+	// with the *InvariantViolation, which the run supervisor converts
+	// into a structured, replayable *RunError.
+	PolicyStrict
+)
+
+// String implements fmt.Stringer, matching ParsePolicy's inputs.
+func (p Policy) String() string {
+	switch p {
+	case PolicyWarn:
+		return "warn"
+	case PolicyStrict:
+		return "strict"
+	default:
+		return "off"
+	}
+}
+
+// ParsePolicy parses the -audit flag values. The empty string is
+// PolicyOff, so configurations that predate the auditor keep working.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "off":
+		return PolicyOff, nil
+	case "warn":
+		return PolicyWarn, nil
+	case "strict":
+		return PolicyStrict, nil
+	}
+	return PolicyOff, fmt.Errorf("audit: unknown policy %q (want off, warn, or strict)", s)
+}
+
+// InvariantViolation describes one failed invariant check. It is an
+// error, the panic value of strict-mode failures, and a JSON-stable
+// record embedded into RunError for checkpointing and replay.
+type InvariantViolation struct {
+	// Check names the failed invariant, e.g. "netem/queue-occupancy".
+	// The prefix is the layer that owns the check.
+	Check string `json:"check"`
+	// Time is the virtual time at which the check failed.
+	Time sim.Time `json:"virtualTimeNs"`
+	// Flow is the flow the violation is attributed to, or -1 when the
+	// invariant is not flow-specific (queues, the engine clock).
+	Flow int32 `json:"flow"`
+	// Detail is the human-readable expected-vs-got description.
+	Detail string `json:"detail"`
+}
+
+// Error implements error.
+func (v *InvariantViolation) Error() string {
+	if v.Flow >= 0 {
+		return fmt.Sprintf("invariant %s violated at %v (flow %d): %s", v.Check, v.Time, v.Flow, v.Detail)
+	}
+	return fmt.Sprintf("invariant %s violated at %v: %s", v.Check, v.Time, v.Detail)
+}
+
+// maxRecorded bounds the violations retained in warn mode; the total
+// count is always exact.
+const maxRecorded = 16
+
+// Auditor collects invariant violations under a policy. A nil *Auditor
+// is valid and means auditing is off: every method is nil-safe, so
+// instrumented code holds a single pointer and pays one predictable
+// branch when auditing is disabled.
+//
+// The Auditor is not safe for concurrent use; like the rest of the
+// simulation it belongs to exactly one single-threaded run.
+type Auditor struct {
+	policy Policy
+	now    func() sim.Time
+
+	total      uint64
+	violations []InvariantViolation
+}
+
+// New creates an auditor for one run. now supplies virtual time (the
+// engine's Now). A PolicyOff auditor is represented as nil.
+func New(policy Policy, now func() sim.Time) *Auditor {
+	if policy == PolicyOff {
+		return nil
+	}
+	if now == nil {
+		panic("audit: auditor without clock")
+	}
+	return &Auditor{policy: policy, now: now}
+}
+
+// On reports whether auditing is enabled.
+func (a *Auditor) On() bool { return a != nil }
+
+// Policy returns the auditor's policy (PolicyOff for nil).
+func (a *Auditor) Policy() Policy {
+	if a == nil {
+		return PolicyOff
+	}
+	return a.policy
+}
+
+// Reportf records one violation. Under PolicyStrict it panics with the
+// *InvariantViolation so the run supervisor fails the run; under
+// PolicyWarn it counts (and retains a bounded sample) and returns.
+// Format arguments are only evaluated on the failure path, so callers
+// may guard checks with a plain comparison and call Reportf in the
+// unlikely branch.
+func (a *Auditor) Reportf(check string, flow int32, format string, args ...interface{}) {
+	if a == nil {
+		return
+	}
+	v := InvariantViolation{
+		Check:  check,
+		Time:   a.now(),
+		Flow:   flow,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	a.total++
+	if len(a.violations) < maxRecorded {
+		a.violations = append(a.violations, v)
+	}
+	if a.policy == PolicyStrict {
+		panic(&v)
+	}
+}
+
+// Total returns the exact number of violations reported so far.
+func (a *Auditor) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.total
+}
+
+// Violations returns the retained sample of violations (at most
+// maxRecorded; the first violations reported win).
+func (a *Auditor) Violations() []InvariantViolation {
+	if a == nil {
+		return nil
+	}
+	return a.violations
+}

@@ -1,0 +1,166 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"ccatscale/internal/cca"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+func TestParsePolicy(t *testing.T) {
+	good := map[string]Policy{
+		"": PolicyOff, "off": PolicyOff, "warn": PolicyWarn, "strict": PolicyStrict,
+	}
+	for in, want := range good {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() != want.String() {
+			t.Errorf("Policy(%q).String() = %q", in, got.String())
+		}
+	}
+	if _, err := ParsePolicy("paranoid"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestNilAuditorIsOff(t *testing.T) {
+	var a *Auditor
+	if a.On() || a.Policy() != PolicyOff || a.Total() != 0 || a.Violations() != nil {
+		t.Fatal("nil auditor not inert")
+	}
+	a.Reportf("x", -1, "must not panic")
+	if New(PolicyOff, func() sim.Time { return 0 }) != nil {
+		t.Fatal("PolicyOff auditor should be nil")
+	}
+}
+
+func TestWarnCountsAndCapsSample(t *testing.T) {
+	now := sim.Time(7)
+	a := New(PolicyWarn, func() sim.Time { return now })
+	for i := 0; i < maxRecorded+10; i++ {
+		a.Reportf("test/check", int32(i), "violation %d", i)
+	}
+	if a.Total() != maxRecorded+10 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	vs := a.Violations()
+	if len(vs) != maxRecorded {
+		t.Fatalf("sample length = %d, want %d", len(vs), maxRecorded)
+	}
+	if vs[0].Flow != 0 || vs[0].Time != now || vs[0].Check != "test/check" {
+		t.Fatalf("first sample = %+v", vs[0])
+	}
+	if !strings.Contains(vs[0].Error(), "flow 0") {
+		t.Fatalf("Error() = %q", vs[0].Error())
+	}
+}
+
+func TestStrictPanicsWithViolation(t *testing.T) {
+	a := New(PolicyStrict, func() sim.Time { return 42 })
+	defer func() {
+		v, ok := recover().(*InvariantViolation)
+		if !ok {
+			t.Fatalf("panic value is %T", v)
+		}
+		if v.Check != "test/boom" || v.Time != 42 || v.Flow != 3 || v.Detail != "got 1 want 2" {
+			t.Fatalf("violation = %+v", v)
+		}
+		if a.Total() != 1 {
+			t.Fatalf("Total = %d", a.Total())
+		}
+	}()
+	a.Reportf("test/boom", 3, "got %d want %d", 1, 2)
+	t.Fatal("Reportf returned under strict policy")
+}
+
+// brokenCCA is a controller that violates the window floor on demand.
+type brokenCCA struct {
+	cca.CCA
+	cwnd units.ByteCount
+}
+
+func (b *brokenCCA) Cwnd() units.ByteCount { return b.cwnd }
+
+func TestWrapCCANilAuditorIsIdentity(t *testing.T) {
+	inner := cca.NewReno(units.MSS)
+	if got := WrapCCA(inner, units.MSS, 0, nil); got != cca.CCA(inner) {
+		t.Fatal("nil auditor should return the controller unchanged")
+	}
+}
+
+func TestWrapCCADetectsWindowCollapse(t *testing.T) {
+	a := New(PolicyWarn, func() sim.Time { return 0 })
+	b := &brokenCCA{CCA: cca.NewReno(units.MSS), cwnd: units.MSS / 2}
+	w := WrapCCA(b, units.MSS, 5, a)
+	w.OnAck(cca.AckEvent{AckedBytes: units.MSS})
+	if a.Total() == 0 {
+		t.Fatal("sub-MSS cwnd not reported")
+	}
+	if v := a.Violations()[0]; v.Check != "cca/cwnd-floor" || v.Flow != 5 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestWrapCCAPreservesRecoveryController(t *testing.T) {
+	a := New(PolicyWarn, func() sim.Time { return 0 })
+	factory, ok := cca.ByName("bbr")
+	if !ok {
+		t.Fatal("no bbr factory")
+	}
+	bbr := factory(units.MSS, sim.NewRNG(1))
+	if _, controls := bbr.(cca.RecoveryController); !controls {
+		t.Skip("bbr no longer a RecoveryController")
+	}
+	wrapped := WrapCCA(bbr, units.MSS, 0, a)
+	if _, controls := wrapped.(cca.RecoveryController); !controls {
+		t.Fatal("wrapping dropped the RecoveryController marker")
+	}
+	reno := WrapCCA(cca.NewReno(units.MSS), units.MSS, 0, a)
+	if _, controls := reno.(cca.RecoveryController); controls {
+		t.Fatal("wrapping invented a RecoveryController marker")
+	}
+}
+
+// cleanSequenceCCA drives a wrapped real controller through a normal
+// loss episode and must produce no violations.
+func TestWrapCCACleanLossEpisode(t *testing.T) {
+	for _, name := range cca.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := New(PolicyWarn, func() sim.Time { return 0 })
+			factory, _ := cca.ByName(name)
+			w := WrapCCA(factory(units.MSS, sim.NewRNG(2)), units.MSS, 0, a)
+			for i := 0; i < 50; i++ {
+				w.OnAck(cca.AckEvent{Now: sim.Time(i) * sim.Millisecond,
+					AckedBytes: units.MSS, RTT: 20 * sim.Millisecond, MinRTT: 20 * sim.Millisecond})
+			}
+			w.OnEnterRecovery(60*sim.Millisecond, 20*units.MSS)
+			w.OnExitRecovery(80 * sim.Millisecond)
+			w.OnRTO(200 * sim.Millisecond)
+			if a.Total() != 0 {
+				t.Fatalf("clean episode reported %d violations; first: %v",
+					a.Total(), a.Violations()[0].Error())
+			}
+		})
+	}
+}
+
+func TestReachableExpandsHops(t *testing.T) {
+	legal := reachable(bbrTransitions, 3)
+	// One OnAck can cross STARTUP→DRAIN→PROBE_BW.
+	if !legal["STARTUP"]["PROBE_BW"] {
+		t.Fatal("3-hop reachability missing STARTUP→PROBE_BW")
+	}
+	// Self transitions are always legal (no state change observed).
+	if !legal["STARTUP"]["STARTUP"] {
+		t.Fatal("self state not reachable")
+	}
+	one := reachable(bbrTransitions, 1)
+	if one["PROBE_BW"]["STARTUP"] {
+		t.Fatal("1-hop graph leaked a 2-hop edge")
+	}
+}

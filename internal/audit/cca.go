@@ -1,0 +1,250 @@
+package audit
+
+import (
+	"ccatscale/internal/cca"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// StateMachine is implemented by CCAs exposing a named state (BBR v1
+// and v2); the wrapper validates every observed transition against the
+// algorithm's legal transition graph.
+type StateMachine interface {
+	State() string
+}
+
+// SlowStartThresholder is implemented by loss-based CCAs exposing their
+// slow-start threshold for bound checking.
+type SlowStartThresholder interface {
+	Ssthresh() units.ByteCount
+}
+
+// WMaxer is implemented by Cubic, exposing W_max (in segments) so the
+// wrapper can validate the RFC 8312 update rules around reductions.
+type WMaxer interface {
+	WMax() float64
+}
+
+// bbrTransitions is the legal single-step transition graph of the BBRv1
+// state machine (Cardwell et al. 2016 §4): STARTUP→DRAIN on full pipe,
+// DRAIN→PROBE_BW once inflight reaches BDP, any steady state→PROBE_RTT
+// on min-RTT filter expiry, and PROBE_RTT exits to STARTUP (pipe not yet
+// filled) or PROBE_BW.
+var bbrTransitions = map[string][]string{
+	"STARTUP":   {"DRAIN", "PROBE_RTT"},
+	"DRAIN":     {"PROBE_BW", "PROBE_RTT"},
+	"PROBE_BW":  {"PROBE_RTT"},
+	"PROBE_RTT": {"STARTUP", "PROBE_BW"},
+}
+
+// bbr2Transitions is the legal single-step graph of the BBRv2 machine:
+// the startup path STARTUP→DRAIN→PROBE_DOWN, the bandwidth-probing
+// cycle PROBE_DOWN→CRUISE→REFILL→PROBE_UP→PROBE_DOWN, PROBE_RTT entry
+// from any post-startup state, and PROBE_RTT exit into PROBE_DOWN.
+var bbr2Transitions = map[string][]string{
+	"STARTUP":    {"DRAIN", "PROBE_RTT"},
+	"DRAIN":      {"PROBE_DOWN", "PROBE_RTT"},
+	"PROBE_DOWN": {"CRUISE", "PROBE_RTT"},
+	"CRUISE":     {"REFILL", "PROBE_RTT"},
+	"REFILL":     {"PROBE_UP", "PROBE_RTT"},
+	"PROBE_UP":   {"PROBE_DOWN", "PROBE_RTT"},
+	"PROBE_RTT":  {"PROBE_DOWN"},
+}
+
+// reachable expands a single-step graph to everything observable across
+// one CCA callback: a single OnAck may take up to maxHops legal steps
+// back to back (BBRv1 can pass STARTUP→DRAIN→PROBE_BW in one ACK when
+// the drain target is already met).
+func reachable(single map[string][]string, maxHops int) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(single))
+	for from := range single {
+		seen := map[string]bool{from: true}
+		frontier := []string{from}
+		for hop := 0; hop < maxHops; hop++ {
+			var next []string
+			for _, s := range frontier {
+				for _, t := range single[s] {
+					if !seen[t] {
+						seen[t] = true
+						next = append(next, t)
+					}
+				}
+			}
+			frontier = next
+		}
+		out[from] = seen
+	}
+	return out
+}
+
+// auditedCCA observes every CCA callback and validates the universal
+// invariants (cwnd floor, non-negative pacing) plus the
+// algorithm-specific ones (ssthresh bounds, Cubic W_max rules, legal
+// BBR transitions). It is transparent: all decisions still come from
+// the wrapped controller, so audited and unaudited runs are
+// bit-identical until a strict violation fires.
+type auditedCCA struct {
+	inner cca.CCA
+	aud   *Auditor
+	flow  int32
+	mss   units.ByteCount
+
+	sm        StateMachine
+	legal     map[string]map[string]bool
+	lastState string
+}
+
+// WrapCCA wraps ctrl with invariant checking for one flow. The wrapper
+// preserves the cca.RecoveryController marker: a wrapped BBR still
+// manages its own recovery window and the transport still skips PRR,
+// exactly as it would unaudited.
+func WrapCCA(ctrl cca.CCA, mss units.ByteCount, flow int32, aud *Auditor) cca.CCA {
+	if aud == nil {
+		return ctrl
+	}
+	w := &auditedCCA{inner: ctrl, aud: aud, flow: flow, mss: mss}
+	if sm, ok := ctrl.(StateMachine); ok {
+		w.sm = sm
+		w.lastState = sm.State()
+		switch ctrl.Name() {
+		case "bbr":
+			w.legal = reachable(bbrTransitions, 3)
+		case "bbr2":
+			w.legal = reachable(bbr2Transitions, 3)
+		}
+	}
+	if _, controls := ctrl.(cca.RecoveryController); controls {
+		return &auditedRecoveryCCA{auditedCCA: w}
+	}
+	return w
+}
+
+// auditedRecoveryCCA re-exposes the RecoveryController marker of the
+// wrapped controller.
+type auditedRecoveryCCA struct {
+	*auditedCCA
+}
+
+// ControlsRecovery implements cca.RecoveryController.
+func (w *auditedRecoveryCCA) ControlsRecovery() {}
+
+// Unwrap returns the audited controller (for instrumentation that
+// type-asserts on concrete CCA types).
+func (w *auditedCCA) Unwrap() cca.CCA { return w.inner }
+
+func (w *auditedCCA) Name() string { return w.inner.Name() }
+
+func (w *auditedCCA) Cwnd() units.ByteCount { return w.inner.Cwnd() }
+
+func (w *auditedCCA) PacingRate() units.Bandwidth { return w.inner.PacingRate() }
+
+func (w *auditedCCA) OnAck(ev cca.AckEvent) {
+	w.inner.OnAck(ev)
+	w.checkCommon()
+	w.checkTransition()
+}
+
+func (w *auditedCCA) OnEnterRecovery(now sim.Time, inFlight units.ByteCount) {
+	prior := w.inner.Cwnd()
+	w.inner.OnEnterRecovery(now, inFlight)
+	w.checkCommon()
+	w.checkTransition()
+	w.checkReduction("recovery entry", prior)
+}
+
+func (w *auditedCCA) OnExitRecovery(now sim.Time) {
+	w.inner.OnExitRecovery(now)
+	w.checkCommon()
+	w.checkTransition()
+}
+
+func (w *auditedCCA) OnRTO(now sim.Time) {
+	prior := w.inner.Cwnd()
+	w.inner.OnRTO(now)
+	w.checkTransition()
+	// The RTO response may legally collapse to one segment (below the
+	// recovery floor), so only the W_max and pacing invariants apply.
+	if cwnd := w.inner.Cwnd(); cwnd < w.mss {
+		w.aud.Reportf("cca/cwnd-floor", w.flow,
+			"%s cwnd %d below one MSS (%d) after RTO", w.inner.Name(), cwnd, w.mss)
+	}
+	if rate := w.inner.PacingRate(); rate < 0 {
+		w.aud.Reportf("cca/pacing-negative", w.flow,
+			"%s pacing rate %d negative after RTO", w.inner.Name(), int64(rate))
+	}
+	if wm, ok := w.inner.(WMaxer); ok {
+		wMaxBytes := units.ByteCount(wm.WMax() * float64(w.mss))
+		if wMaxBytes <= 0 || wMaxBytes > prior+w.mss {
+			w.aud.Reportf("cca/cubic-wmax", w.flow,
+				"%s W_max %d outside (0, %d] after RTO", w.inner.Name(), wMaxBytes, prior+w.mss)
+		}
+	}
+}
+
+// checkCommon validates the invariants every CCA must uphold after any
+// callback: the window never collapses below one segment (the transport
+// could never send again) and the pacing rate is never negative.
+func (w *auditedCCA) checkCommon() {
+	if cwnd := w.inner.Cwnd(); cwnd < w.mss {
+		w.aud.Reportf("cca/cwnd-floor", w.flow,
+			"%s cwnd %d below one MSS (%d)", w.inner.Name(), cwnd, w.mss)
+	}
+	if rate := w.inner.PacingRate(); rate < 0 {
+		w.aud.Reportf("cca/pacing-negative", w.flow,
+			"%s pacing rate %d negative", w.inner.Name(), int64(rate))
+	}
+}
+
+// checkTransition validates a BBR state change against the legal graph.
+func (w *auditedCCA) checkTransition() {
+	if w.sm == nil {
+		return
+	}
+	state := w.sm.State()
+	if state == w.lastState {
+		return
+	}
+	if w.legal != nil && !w.legal[w.lastState][state] {
+		w.aud.Reportf("cca/bbr-transition", w.flow,
+			"%s illegal state transition %s -> %s", w.inner.Name(), w.lastState, state)
+	}
+	w.lastState = state
+}
+
+// checkReduction validates the bounds around a loss response. prior is
+// the window before the event. Multiplicative-decrease CCAs must not
+// grow the window on loss (beyond the 2-segment floor) and must keep
+// ssthresh at or above 2 segments; Cubic must additionally keep W_max
+// positive and at or below the pre-reduction window (RFC 8312 §4.6,
+// including the fast-convergence variant).
+func (w *auditedCCA) checkReduction(event string, prior units.ByteCount) {
+	name := w.inner.Name()
+	_, controls := w.inner.(cca.RecoveryController)
+	if !controls {
+		floor := 2 * w.mss
+		if cwnd := w.inner.Cwnd(); cwnd > prior && cwnd > floor {
+			w.aud.Reportf("cca/no-decrease-on-loss", w.flow,
+				"%s grew cwnd on %s: %d -> %d", name, event, prior, cwnd)
+		}
+		if st, ok := w.inner.(SlowStartThresholder); ok {
+			if ss := st.Ssthresh(); ss < floor {
+				w.aud.Reportf("cca/ssthresh-floor", w.flow,
+					"%s ssthresh %d below two MSS (%d) after %s", name, ss, floor, event)
+			}
+		}
+	}
+	if wm, ok := w.inner.(WMaxer); ok {
+		wMaxBytes := units.ByteCount(wm.WMax() * float64(w.mss))
+		if wMaxBytes <= 0 {
+			w.aud.Reportf("cca/cubic-wmax", w.flow,
+				"%s W_max %d non-positive after %s", name, wMaxBytes, event)
+		}
+		// W_max is either the pre-reduction window or, under fast
+		// convergence, (2-beta)/2 of it — never more (allow one segment
+		// of float slack).
+		if wMaxBytes > prior+w.mss {
+			w.aud.Reportf("cca/cubic-wmax", w.flow,
+				"%s W_max %d above pre-reduction cwnd %d after %s", name, wMaxBytes, prior, event)
+		}
+	}
+}

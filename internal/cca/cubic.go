@@ -92,6 +92,21 @@ func (c *Cubic) PacingRate() units.Bandwidth { return 0 }
 // InSlowStart reports whether the window is below ssthresh.
 func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
 
+// Ssthresh returns the slow-start threshold in bytes (saturating at
+// MaxInt64 for the initial "infinite" threshold), for instrumentation
+// and the invariant auditor.
+func (c *Cubic) Ssthresh() units.ByteCount {
+	bytes := c.ssthresh * float64(c.mss)
+	if bytes >= float64(math.MaxInt64) {
+		return units.ByteCount(math.MaxInt64)
+	}
+	return units.ByteCount(bytes)
+}
+
+// WMax returns the window (in segments) recorded at the last reduction,
+// the anchor of the cubic growth function (0 before any reduction).
+func (c *Cubic) WMax() float64 { return c.wMax }
+
 // OnAck implements CCA.
 func (c *Cubic) OnAck(ev AckEvent) {
 	if c.inRecovery || ev.AckedBytes <= 0 {

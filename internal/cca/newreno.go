@@ -44,6 +44,10 @@ func (r *Reno) PacingRate() units.Bandwidth { return 0 }
 // InSlowStart reports whether the window is below ssthresh.
 func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
 
+// Ssthresh returns the slow-start threshold (for instrumentation and
+// the invariant auditor).
+func (r *Reno) Ssthresh() units.ByteCount { return r.ssthresh }
+
 // OnAck implements CCA: slow start grows the window by the bytes acked
 // (capped at 2·MSS per ACK, RFC 3465 ABC with L=2); congestion
 // avoidance grows it one MSS per window's worth of acknowledged data.

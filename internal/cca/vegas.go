@@ -62,6 +62,10 @@ func (v *Vegas) PacingRate() units.Bandwidth { return 0 }
 // start.
 func (v *Vegas) InSlowStart() bool { return v.inSlowStart }
 
+// Ssthresh returns the slow-start threshold (for instrumentation and
+// the invariant auditor).
+func (v *Vegas) Ssthresh() units.ByteCount { return v.ssthresh }
+
 // OnAck implements CCA: collect the round's best RTT sample and adjust
 // the window once per round.
 func (v *Vegas) OnAck(ev AckEvent) {

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// auditedTinyConfig is a fast strict-audited run configuration.
+func auditedTinyConfig(seed uint64) RunConfig {
+	s := tinySetting()
+	s.Warmup = 2 * sim.Second
+	s.Duration = 8 * sim.Second
+	cfg := s.Config(UniformFlows(4, "cubic", DefaultRTT), seed)
+	cfg.Audit = "strict"
+	return cfg
+}
+
+func TestValidationErrorsAreDescriptive(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RunConfig)
+		want string
+	}{
+		{"zero rate", func(c *RunConfig) { c.Rate = 0 }, "rate must be positive"},
+		{"negative rate", func(c *RunConfig) { c.Rate = -units.MbitPerSec }, "rate must be positive"},
+		{"zero buffer", func(c *RunConfig) { c.Buffer = 0 }, "queue capacity must be positive"},
+		{"sub-frame buffer", func(c *RunConfig) { c.Buffer = 100 }, "cannot hold one full-size frame"},
+		{"no flows", func(c *RunConfig) { c.Flows = nil }, "no flows"},
+		{"bad RTT", func(c *RunConfig) { c.Flows[0].RTT = -sim.Second }, "non-positive base RTT"},
+		{"bad policy", func(c *RunConfig) { c.Audit = "paranoid" }, "unknown policy"},
+		{"drill without audit", func(c *RunConfig) { c.Audit = ""; c.AuditDrillAt = sim.Second }, "audit drill requires"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := auditedTinyConfig(1)
+			tc.mut(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAuditDrillCaughtStrict is the acceptance drill: a corrupted queue
+// byte-decrement must fail a strict run with a structured conservation
+// violation whose replay command carries the audit flags.
+func TestAuditDrillCaughtStrict(t *testing.T) {
+	cfg := auditedTinyConfig(1)
+	cfg.AuditDrillAt = 3 * sim.Second
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("strict run with corrupted queue accounting succeeded")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RunError", err)
+	}
+	if re.Reason != "invariant violation" {
+		t.Fatalf("Reason = %q", re.Reason)
+	}
+	if re.Violation == nil {
+		t.Fatal("RunError carries no structured violation")
+	}
+	if !strings.HasPrefix(re.Violation.Check, "netem/") {
+		t.Fatalf("violation %q not attributed to the netem ledger", re.Violation.Check)
+	}
+	if re.Violation.Time < cfg.AuditDrillAt {
+		t.Fatalf("violation at %v, before the drill at %v", re.Violation.Time, cfg.AuditDrillAt)
+	}
+	cmd := re.ReplayCommand()
+	for _, want := range []string{"-audit strict", "-audit-drill"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("replay command %q lacks %q", cmd, want)
+		}
+	}
+}
+
+// TestAuditDrillWarnCountsAndContinues checks the warn policy: the same
+// corruption is counted (with a retained sample) but the run completes.
+func TestAuditDrillWarnCountsAndContinues(t *testing.T) {
+	cfg := auditedTinyConfig(1)
+	cfg.Audit = "warn"
+	cfg.AuditDrillAt = 3 * sim.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AuditViolations == 0 {
+		t.Fatal("warn run reported no violations despite the drill")
+	}
+	if len(res.AuditViolationSample) == 0 {
+		t.Fatal("no violation sample retained")
+	}
+	if got := res.AuditViolationSample[0].Check; !strings.HasPrefix(got, "netem/") {
+		t.Fatalf("first violation %q not from the netem ledger", got)
+	}
+}
+
+// TestInvariantFailureReplayRoundTrip serializes a strict audit failure
+// through the JSON failure record and re-runs the decoded config: the
+// replay must reproduce the identical violation — same check, same
+// virtual time, same seed, same event count.
+func TestInvariantFailureReplayRoundTrip(t *testing.T) {
+	cfg := auditedTinyConfig(9)
+	cfg.AuditDrillAt = 3 * sim.Second
+	_, err := Run(cfg)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RunError", err)
+	}
+
+	var buf bytes.Buffer
+	if err := re.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadRunError(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Violation == nil || *decoded.Violation != *re.Violation {
+		t.Fatalf("violation did not survive JSON: %+v vs %+v", decoded.Violation, re.Violation)
+	}
+
+	_, err = Run(decoded.Config)
+	var replay *RunError
+	if !errors.As(err, &replay) {
+		t.Fatalf("replay error is %T, want *RunError", err)
+	}
+	if replay.Violation == nil || *replay.Violation != *re.Violation {
+		t.Fatalf("replay violation differs: %+v vs %+v", replay.Violation, re.Violation)
+	}
+	if replay.Seed != re.Seed || replay.VirtualTime != re.VirtualTime || replay.Events != re.Events {
+		t.Fatalf("replay context differs: seed %d/%d vt %v/%v events %d/%d",
+			replay.Seed, re.Seed, replay.VirtualTime, re.VirtualTime, replay.Events, re.Events)
+	}
+}
+
+// TestAuditCleanAcrossConfigurations runs the strict auditor over the
+// harness's impairment axes — CoDel, iid loss, jitter, burst loss,
+// outages (drop and hold), mixed CCAs — and requires a clean pass: the
+// conservation ledgers must account for every path a byte can take.
+func TestAuditCleanAcrossConfigurations(t *testing.T) {
+	mut := []struct {
+		name string
+		mut  func(*RunConfig)
+	}{
+		{"codel", func(c *RunConfig) { c.AQM = "codel" }},
+		{"iid loss", func(c *RunConfig) { c.RandomLoss = 0.01 }},
+		{"jitter", func(c *RunConfig) { c.Jitter = 2 * sim.Millisecond }},
+		{"burst loss", func(c *RunConfig) { c.BurstLoss = &BurstLossSpec{MeanLoss: 0.005, MeanBurstLen: 4} }},
+		{"outage drop", func(c *RunConfig) {
+			c.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2}
+		}},
+		{"outage hold", func(c *RunConfig) {
+			c.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2, Hold: true}
+		}},
+		{"mixed ccas", func(c *RunConfig) { c.Flows = MixedFlows(6, "bbr2", "vegas", DefaultRTT) }},
+	}
+	for _, tc := range mut {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := auditedTinyConfig(3)
+			tc.mut(&cfg)
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("strict-audited run failed: %v", err)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"ccatscale/internal/audit"
 	"ccatscale/internal/cca"
 	"ccatscale/internal/metrics"
 	"ccatscale/internal/netem"
@@ -102,6 +103,16 @@ type RunConfig struct {
 	// AQM selects the bottleneck discipline ("" or "droptail" = the
 	// paper's drop-tail; "codel" = RFC 8289 CoDel, an extension axis).
 	AQM string
+	// Audit selects the invariant-auditing policy: "" or "off" disables
+	// it, "warn" counts violations and reports them in the result,
+	// "strict" fails the run at the first violation with a structured,
+	// replayable *RunError.
+	Audit string
+	// AuditDrillAt, when positive, deliberately corrupts one bottleneck
+	// queue byte-decrement at this virtual time — a seeded accounting
+	// bug the conservation ledger must catch. It requires a non-off
+	// Audit policy and exists to drill the auditor end to end.
+	AuditDrillAt sim.Time
 }
 
 func (c *RunConfig) withDefaults() RunConfig {
@@ -128,17 +139,30 @@ func (c *RunConfig) withDefaults() RunConfig {
 }
 
 func (c *RunConfig) validate() error {
-	if c.Rate <= 0 {
-		return fmt.Errorf("core: non-positive bottleneck rate")
+	// The netem layer owns the topology validation (zero/negative rate,
+	// degenerate queue capacity, bad RTTs) so the same descriptive
+	// errors surface whether a dumbbell is built through core or
+	// directly.
+	rtts := make([]sim.Time, len(c.Flows))
+	for i, f := range c.Flows {
+		rtts[i] = f.RTT
 	}
-	if c.Buffer <= 0 {
-		return fmt.Errorf("core: non-positive buffer")
-	}
-	if len(c.Flows) == 0 {
-		return fmt.Errorf("core: no flows")
+	if err := (netem.DumbbellConfig{Rate: c.Rate, Buffer: c.Buffer, RTT: rtts}).Validate(); err != nil {
+		return err
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("core: non-positive duration")
+	}
+	if _, err := audit.ParsePolicy(c.Audit); err != nil {
+		return err
+	}
+	if c.AuditDrillAt < 0 {
+		return fmt.Errorf("core: negative audit-drill time")
+	}
+	if c.AuditDrillAt > 0 {
+		if p, _ := audit.ParsePolicy(c.Audit); p == audit.PolicyOff {
+			return fmt.Errorf("core: audit drill requires -audit warn or strict (the drill corrupts queue accounting; without the auditor it would silently poison results)")
+		}
 	}
 	switch c.AQM {
 	case "", "droptail", "codel":
@@ -236,6 +260,14 @@ type RunResult struct {
 	// performance reporting).
 	Events uint64
 
+	// AuditViolations counts invariant violations observed under the
+	// "warn" audit policy (under "strict" the first violation fails the
+	// run instead, so a successful strict result always reports 0).
+	AuditViolations uint64
+	// AuditViolationSample holds the first few recorded violations when
+	// AuditViolations > 0.
+	AuditViolationSample []audit.InvariantViolation
+
 	// SeriesNames and Series hold the per-CCA goodput time series when
 	// SeriesInterval was configured.
 	SeriesNames []string
@@ -270,11 +302,22 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
 
+	// The invariant auditor (nil when the policy is off). It observes
+	// the run — every hook below is read-only with respect to simulation
+	// state — so enabling it never perturbs the deterministic trace.
+	pol, _ := audit.ParsePolicy(cfg.Audit)
+	aud := audit.New(pol, eng.Now)
+	if aud != nil {
+		eng.SetAudit(func(check, detail string) {
+			aud.Reportf(check, -1, "%s", detail)
+		})
+	}
+
 	wallStart := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res = RunResult{}
-			err = &RunError{
+			re := &RunError{
 				Reason:      "panic",
 				Seed:        cfg.Seed,
 				VirtualTime: eng.Now(),
@@ -284,6 +327,14 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 				Stack:       string(debug.Stack()),
 				Config:      cfg,
 			}
+			if v, ok := r.(*audit.InvariantViolation); ok {
+				// A strict-policy audit failure: keep the structured
+				// violation so batch drivers can report which check
+				// fired and where without parsing the panic string.
+				re.Reason = "invariant violation"
+				re.Violation = v
+			}
+			err = re
 		}
 	}()
 
@@ -340,7 +391,25 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		RTT:        rtts,
 		OnDrop:     qlog.OnDrop,
 		Discipline: discipline,
+		Audit:      aud,
 	})
+	if cfg.AuditDrillAt > 0 {
+		// The seeded accounting bug: corrupt the queue's byte counter at
+		// the requested time. The conservation ledger must catch it on
+		// the next queue operation.
+		eng.Schedule(cfg.AuditDrillAt, func() { db.DrillCorruptQueue() })
+	}
+
+	// End-to-end ledger terms (forward data path only; ACKs ride the
+	// uncongested reverse path and never enter the bottleneck).
+	var injectedWire, arrivedWire units.ByteCount
+	output := db.SendData
+	if aud != nil {
+		output = func(p packet.Packet) {
+			injectedWire += p.WireBytes()
+			db.SendData(p)
+		}
+	}
 
 	senders := make([]*tcp.Sender, len(cfg.Flows))
 	receivers := make([]*tcp.Receiver, len(cfg.Flows))
@@ -349,12 +418,14 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		ctrl := factory(cfg.MSS, rng.Split())
 		senders[i] = tcp.NewSender(eng, int32(i), tcp.Config{
 			MSS:    cfg.MSS,
-			CCA:    ctrl,
-			Output: db.SendData,
+			CCA:    audit.WrapCCA(ctrl, cfg.MSS, int32(i), aud),
+			Output: output,
+			Audit:  aud,
 		})
 		receivers[i] = tcp.NewReceiver(eng, int32(i), tcp.ReceiverConfig{
 			DelAckDelay: cfg.DelAckDelay,
 			GROWindow:   cfg.GROWindow,
+			Audit:       aud,
 		}, db.SendAck)
 	}
 	// Forward-path impairment chain, innermost first: the receiver,
@@ -362,9 +433,19 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	// loss, then the link outage schedule outermost (a dark link is
 	// dark for everything behind it).
 	toReceiver := func(p packet.Packet) { receivers[p.Flow].OnData(p) }
+	if aud != nil {
+		inner := toReceiver
+		toReceiver = func(p packet.Packet) {
+			arrivedWire += p.WireBytes()
+			inner(p)
+		}
+	}
 	var randomDrops, burstDrops, outageDrops uint64
+	var imp *netem.Impairment
+	var ge *netem.GilbertElliott
+	var outg *netem.Outage
 	if cfg.RandomLoss > 0 || cfg.Jitter > 0 {
-		imp := netem.NewImpairment(eng, rng.Split(), netem.ImpairmentConfig{
+		imp = netem.NewImpairment(eng, rng.Split(), netem.ImpairmentConfig{
 			LossProb: cfg.RandomLoss,
 			Jitter:   cfg.Jitter,
 			OnDrop:   func(sim.Time, packet.Packet) { randomDrops++ },
@@ -374,7 +455,7 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	if cfg.BurstLoss != nil {
 		geCfg := cfg.BurstLoss.gilbert()
 		geCfg.OnDrop = func(sim.Time, packet.Packet) { burstDrops++ }
-		ge := netem.NewGilbertElliott(eng, rng.Split(), geCfg, toReceiver)
+		ge = netem.NewGilbertElliott(eng, rng.Split(), geCfg, toReceiver)
 		toReceiver = ge.Send
 	}
 	if cfg.Outage != nil {
@@ -382,12 +463,12 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		if cfg.Outage.Hold {
 			policy = netem.OutageHold
 		}
-		out := netem.NewOutage(eng, netem.OutageConfig{
+		outg = netem.NewOutage(eng, netem.OutageConfig{
 			Windows: cfg.Outage.windows(),
 			Policy:  policy,
 			OnDrop:  func(sim.Time, packet.Packet) { outageDrops++ },
 		}, toReceiver)
-		toReceiver = out.Send
+		toReceiver = outg.Send
 	}
 	db.SetEndpoints(
 		toReceiver,
@@ -461,6 +542,9 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	}
 
 	stopAt := eng.Run(end)
+	if aud != nil && watchdogReason == "" {
+		checkEndToEnd(aud, injectedWire, arrivedWire, db, imp, ge, outg)
+	}
 	if watchdogReason != "" {
 		return RunResult{}, &RunError{
 			Reason:      watchdogReason,
@@ -497,7 +581,39 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		res.SeriesNames = seriesNames
 		res.Series = series.Points()
 	}
+	if aud != nil {
+		res.AuditViolations = aud.Total()
+		res.AuditViolationSample = aud.Violations()
+	}
 	return res, nil
+}
+
+// checkEndToEnd verifies the end-of-run byte-conservation ledger for the
+// forward data path: every wire byte the senders injected is accounted
+// for as arrived at a receiver, dropped (bottleneck, impairment, burst
+// loss, or outage), still queued or serializing at the bottleneck, in
+// propagation flight, parked in a jitter timer, or held by an outage in
+// hold mode.
+func checkEndToEnd(aud *audit.Auditor, injected, arrived units.ByteCount, db *netem.Dumbbell, imp *netem.Impairment, ge *netem.GilbertElliott, outg *netem.Outage) {
+	port := db.Port()
+	inNetwork := port.Queue().Bytes() + port.SerializingBytes() + db.PropagatingBytes()
+	impaired := units.ByteCount(0)
+	if imp != nil {
+		impaired += imp.DropBytes() + imp.ParkedBytes()
+	}
+	if ge != nil {
+		impaired += ge.DropBytes()
+	}
+	if outg != nil {
+		impaired += outg.DropBytes() + outg.HeldBytes()
+	}
+	accounted := arrived + db.BottleneckDropWire() + inNetwork + impaired
+	if injected != accounted {
+		aud.Reportf("netem/end-to-end-conservation", -1,
+			"at run end: injected %d wire bytes != arrived %d + bottleneck dropped %d + in network %d + impaired %d (missing %d)",
+			injected, arrived, db.BottleneckDropWire(), inNetwork, impaired,
+			int64(injected)-int64(accounted))
+	}
 }
 
 func snapshot(s *tcp.Sender, r *tcp.Receiver, qlog *trace.QueueLog, flow int32) flowSnap {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ccatscale/internal/cca"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
 )
@@ -82,29 +83,62 @@ func TestRunRenoUtilizationAndFairness(t *testing.T) {
 	}
 }
 
+// TestRunDeterminism requires bit-identical same-seed runs and
+// seed-sensitive results for every registered CCA, not just the paper's
+// measured three — the RNG split discipline must hold everywhere.
 func TestRunDeterminism(t *testing.T) {
+	for _, name := range cca.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s := tinySetting()
+			s.Duration = 10 * sim.Second
+			cfg := s.Config(UniformFlows(4, name, DefaultRTT), 42)
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Flows, b.Flows) || a.Events != b.Events {
+				t.Fatal("same-seed runs differ")
+			}
+			cfg2 := cfg
+			cfg2.Seed = 43
+			c, err := Run(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(a.Flows, c.Flows) {
+				t.Fatal("different seeds produced identical flow results")
+			}
+		})
+	}
+}
+
+// TestRunDeterminismUnperturbedByAudit pins the auditor's observer
+// property: a strict-audited run must produce bit-identical results and
+// event counts to an unaudited run of the same seed.
+func TestRunDeterminismUnperturbedByAudit(t *testing.T) {
 	s := tinySetting()
 	s.Duration = 10 * sim.Second
-	cfg := s.Config(UniformFlows(4, "cubic", DefaultRTT), 42)
-	a, err := Run(cfg)
+	cfg := s.Config(MixedFlows(4, "cubic", "bbr", DefaultRTT), 42)
+	plain, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	cfg.Audit = "strict"
+	audited, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(a.Flows, b.Flows) || a.Events != b.Events {
-		t.Fatal("same-seed runs differ")
+	if !reflect.DeepEqual(plain.Flows, audited.Flows) || plain.Events != audited.Events {
+		t.Fatal("strict auditing perturbed the simulation")
 	}
-	cfg2 := cfg
-	cfg2.Seed = 43
-	c, err := Run(cfg2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if reflect.DeepEqual(a.Flows, c.Flows) {
-		t.Fatal("different seeds produced identical flow results")
+	if audited.AuditViolations != 0 {
+		t.Fatalf("clean run reported %d violations", audited.AuditViolations)
 	}
 }
 

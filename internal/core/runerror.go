@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"ccatscale/internal/audit"
 	"ccatscale/internal/sim"
 )
 
@@ -19,8 +20,8 @@ import (
 // (cmd/reproduce) can checkpoint failures to disk next to the results
 // they did not produce.
 type RunError struct {
-	// Reason classifies the failure: "panic", "wall-clock limit
-	// exceeded", or "virtual-time stall".
+	// Reason classifies the failure: "panic", "invariant violation",
+	// "wall-clock limit exceeded", or "virtual-time stall".
 	Reason string `json:"reason"`
 	// Seed is the run's RNG seed.
 	Seed uint64 `json:"seed"`
@@ -37,6 +38,9 @@ type RunError struct {
 	// Stack is the goroutine stack at the panic site (empty for
 	// watchdog stops).
 	Stack string `json:"stack,omitempty"`
+	// Violation is the structured invariant violation when Reason is
+	// "invariant violation" (the strict audit policy failed the run).
+	Violation *audit.InvariantViolation `json:"violation,omitempty"`
 	// Config is the complete configuration of the failed run; replaying
 	// it with the same seed reproduces the failure bit-for-bit.
 	Config RunConfig `json:"config"`
@@ -150,6 +154,12 @@ func (e *RunError) ReplayCommand() string {
 	}
 	if cfg.FaultPanicAt > 0 {
 		fmt.Fprintf(&b, " -panic-at %v", cfg.FaultPanicAt)
+	}
+	if cfg.Audit != "" && cfg.Audit != "off" {
+		fmt.Fprintf(&b, " -audit %s", cfg.Audit)
+	}
+	if cfg.AuditDrillAt > 0 {
+		fmt.Fprintf(&b, " -audit-drill %v", cfg.AuditDrillAt)
 	}
 	return b.String()
 }

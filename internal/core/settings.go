@@ -48,6 +48,13 @@ type Setting struct {
 	// the setting at this virtual time — the supervisor drill behind
 	// reproduce -panicjob.
 	FaultPanicAt sim.Time
+	// Audit selects the invariant-auditing policy for every run of the
+	// setting ("", "off", "warn", or "strict").
+	Audit string
+	// AuditDrillAt, when positive, corrupts the bottleneck queue
+	// accounting in every run at this virtual time — the auditor drill
+	// behind -audit-drill (requires a non-off Audit policy).
+	AuditDrillAt sim.Time
 }
 
 // RTTs are the three base round-trip times every fairness figure sweeps.
@@ -129,5 +136,7 @@ func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
 		WallLimit:    s.WallLimit,
 		StallEvents:  s.StallEvents,
 		FaultPanicAt: s.FaultPanicAt,
+		Audit:        s.Audit,
+		AuditDrillAt: s.AuditDrillAt,
 	}
 }

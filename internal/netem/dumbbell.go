@@ -1,6 +1,9 @@
 package netem
 
 import (
+	"fmt"
+
+	"ccatscale/internal/audit"
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
@@ -31,6 +34,12 @@ type Dumbbell struct {
 
 	toReceiver Sink
 	toSender   Sink
+
+	// Audit state (nil/zero when auditing is off).
+	aud       *audit.Auditor
+	aq        *AuditedQueue
+	dropWire  units.ByteCount // all bottleneck drops (tail + AQM), wire bytes
+	propBytes units.ByteCount // data bytes in forward propagation flight
 }
 
 // AQM selects the bottleneck queue discipline.
@@ -56,37 +65,113 @@ type DumbbellConfig struct {
 	OnDrop DropFunc
 	// Discipline selects the queueing discipline (default DropTail).
 	Discipline AQM
+	// Audit enables the netem conservation ledger: shadow queue
+	// accounting plus the port-level byte-conservation check after
+	// every send and transmit completion. Nil disables auditing.
+	Audit *audit.Auditor
 }
 
-// NewDumbbell wires the topology. Endpoint sinks must be attached with
-// SetEndpoints before traffic flows.
-func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
-	d := &Dumbbell{
-		eng:      eng,
-		revDelay: make([]sim.Time, len(cfg.RTT)),
+// Validate rejects degenerate topologies at construction time with a
+// descriptive error: a zero or negative bottleneck rate stalls the
+// port forever, a zero-capacity queue silently drops everything beyond
+// the packet in serialization, and a non-positive RTT breaks the ACK
+// clock. All of these previously produced degenerate runs (or panics
+// deep in the stack) rather than an actionable message.
+func (cfg DumbbellConfig) Validate() error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("netem: bottleneck rate must be positive, got %d bits/sec", int64(cfg.Rate))
+	}
+	if cfg.Buffer <= 0 {
+		return fmt.Errorf("netem: bottleneck queue capacity must be positive, got %d bytes", int64(cfg.Buffer))
+	}
+	if minFrame := units.MSS + packet.HeaderBytes; cfg.Buffer < minFrame {
+		return fmt.Errorf("netem: bottleneck queue capacity %d bytes cannot hold one full-size frame (%d bytes); every standing-queue packet would be tail-dropped",
+			int64(cfg.Buffer), int64(minFrame))
+	}
+	if len(cfg.RTT) == 0 {
+		return fmt.Errorf("netem: dumbbell with no flows")
 	}
 	for i, rtt := range cfg.RTT {
 		if rtt <= 0 {
-			panic("netem: flow with non-positive base RTT")
+			return fmt.Errorf("netem: flow %d has non-positive base RTT %v", i, rtt)
 		}
+	}
+	return nil
+}
+
+// NewDumbbell wires the topology, panicking on an invalid configuration
+// (call Validate first to get the error instead). Endpoint sinks must
+// be attached with SetEndpoints before traffic flows.
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Dumbbell{
+		eng:      eng,
+		aud:      cfg.Audit,
+		revDelay: make([]sim.Time, len(cfg.RTT)),
+	}
+	for i, rtt := range cfg.RTT {
 		rev := rtt - fwdPropDelay
 		if rev < 0 {
 			rev = 0
 		}
 		d.revDelay[i] = rev
 	}
+	onDrop := cfg.OnDrop
+	if d.aud != nil {
+		// Interpose on the drop callback so the dumbbell's ledger sees
+		// every bottleneck drop (tail and AQM) in wire bytes, and the
+		// audited queue learns about dequeue-side drops of admitted
+		// packets.
+		user := cfg.OnDrop
+		onDrop = func(now sim.Time, p packet.Packet) {
+			d.dropWire += p.WireBytes()
+			if d.aq != nil {
+				d.aq.NoteDrop(p)
+			}
+			if user != nil {
+				user(now, p)
+			}
+		}
+	}
 	switch cfg.Discipline {
 	case CoDel:
 		// The CoDel queue reports its own drops (both tail and AQM), so
 		// the port's tail-drop callback stays unset to avoid double
 		// counting.
-		queue := NewCoDelQueue(eng.Now, cfg.Buffer, cfg.OnDrop)
+		var queue Queue = NewCoDelQueue(eng.Now, cfg.Buffer, onDrop)
+		if d.aud != nil {
+			d.aq = NewAuditedQueue(queue, d.aud)
+			queue = d.aq
+		}
 		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, nil)
 	default:
-		queue := NewDropTailQueue(cfg.Buffer)
-		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, cfg.OnDrop)
+		var queue Queue = NewDropTailQueue(cfg.Buffer)
+		if d.aud != nil {
+			d.aq = NewAuditedQueue(queue, d.aud)
+			queue = d.aq
+		}
+		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, onDrop)
+	}
+	if d.aud != nil {
+		d.port.SetAuditCheck(d.checkConservation)
 	}
 	return d
+}
+
+// checkConservation verifies the bottleneck conservation equation after
+// every port operation: every wire byte offered is transmitted,
+// dropped, queued, or serializing — nothing else.
+func (d *Dumbbell) checkConservation(op string) {
+	p := d.port
+	accounted := p.TxBytes() + d.dropWire + p.Queue().Bytes() + p.SerializingBytes()
+	if offered := p.OfferedBytes(); offered != accounted {
+		d.aud.Reportf("netem/port-conservation", -1,
+			"after %s: offered %d bytes != tx %d + dropped %d + queued %d + serializing %d (missing %d)",
+			op, offered, p.TxBytes(), d.dropWire, p.Queue().Bytes(), p.SerializingBytes(),
+			int64(offered)-int64(accounted))
+	}
 }
 
 // SetEndpoints attaches the demultiplexed delivery sinks: toReceiver
@@ -112,7 +197,40 @@ func (d *Dumbbell) SendData(p packet.Packet) {
 // deliverData is invoked by the port when a segment finishes
 // serialization; it completes the forward path.
 func (d *Dumbbell) deliverData(p packet.Packet) {
+	if d.aud != nil {
+		d.propBytes += p.WireBytes()
+		d.eng.After(fwdPropDelay, func() {
+			d.propBytes -= p.WireBytes()
+			d.toReceiver(p)
+		})
+		return
+	}
 	d.eng.After(fwdPropDelay, func() { d.toReceiver(p) })
+}
+
+// PropagatingBytes returns the wire bytes currently in forward
+// propagation flight (maintained only while auditing).
+func (d *Dumbbell) PropagatingBytes() units.ByteCount { return d.propBytes }
+
+// BottleneckDropWire returns cumulative wire bytes dropped at the
+// bottleneck, tail and AQM combined (maintained only while auditing).
+func (d *Dumbbell) BottleneckDropWire() units.ByteCount { return d.dropWire }
+
+// DrillCorruptQueue corrupts the bottleneck drop-tail queue's byte
+// counter by one full-size frame, simulating a double decrement — the
+// seeded accounting bug behind -audit-drill. It reports whether the
+// corruption was applied (false for AQM disciplines, which have no
+// drill hook).
+func (d *Dumbbell) DrillCorruptQueue() bool {
+	q := d.port.Queue()
+	if aq, ok := q.(*AuditedQueue); ok {
+		q = aq.Inner()
+	}
+	if dt, ok := q.(*DropTailQueue); ok {
+		dt.DrillCorrupt(units.MSS + packet.HeaderBytes)
+		return true
+	}
+	return false
 }
 
 // SendAck is the receiver-side entry point: the ACK returns to the

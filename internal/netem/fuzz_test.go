@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"testing"
+
+	"ccatscale/internal/audit"
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// FuzzQueueConservation drives both queue disciplines through arbitrary
+// push/pop sequences (with time advancing between operations so CoDel's
+// sojourn logic engages) under a strict AuditedQueue: the queue's own
+// occupancy counters must match the shadow ledger after every operation,
+// never go negative, and never exceed capacity. The first byte selects
+// the discipline; each following byte is one operation.
+func FuzzQueueConservation(f *testing.F) {
+	f.Add([]byte{0, 10, 10, 128, 10, 200, 200, 200})
+	f.Add([]byte{1, 10, 20, 30, 128, 128, 40, 200, 128})
+	f.Add([]byte{1, 255, 255, 255, 255, 128, 128, 128, 128, 128, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		capacity := 20 * (units.MSS + packet.HeaderBytes)
+		now := sim.Time(0)
+		aud := audit.New(audit.PolicyStrict, func() sim.Time { return now })
+
+		var aq *AuditedQueue
+		var inner Queue
+		if data[0]%2 == 0 {
+			inner = NewDropTailQueue(capacity)
+		} else {
+			// Mirror the dumbbell's wiring: CoDel reports its own drops
+			// (tail on push, AQM head drops inside pop) and the audited
+			// queue learns about the dequeue-side ones via NoteDrop.
+			inner = NewCoDelQueue(func() sim.Time { return now }, capacity,
+				func(_ sim.Time, p packet.Packet) { aq.NoteDrop(p) })
+		}
+		aq = NewAuditedQueue(inner, aud)
+
+		seq := int64(0)
+		for _, b := range data[1:] {
+			// Advance time irregularly so CoDel crosses its 100 ms
+			// interval and enters/leaves the dropping state.
+			now += sim.Time(b) * sim.Millisecond / 4
+			if b < 128 {
+				// Variable payload sizes exercise byte (not just packet)
+				// accounting, including sub-MSS runts.
+				size := int32(1 + (int(b)*97)%int(units.MSS))
+				aq.Push(packet.Packet{Flow: 0, Seq: seq, Len: size})
+				seq += int64(size)
+			} else {
+				aq.Pop()
+			}
+			if aq.Bytes() != inner.Bytes() || aq.Len() != inner.Len() {
+				t.Fatalf("wrapper view diverged: %d/%d vs %d/%d",
+					aq.Bytes(), aq.Len(), inner.Bytes(), inner.Len())
+			}
+		}
+		// Drain: everything admitted must come back out, and the ledger
+		// must agree the queue is empty.
+		for {
+			if _, ok := aq.Pop(); !ok {
+				break
+			}
+		}
+		if aq.Bytes() != 0 || aq.Len() != 0 {
+			t.Fatalf("drained queue reports %d bytes / %d packets", aq.Bytes(), aq.Len())
+		}
+	})
+}
+
+// FuzzDropTailDrillDetected proves the detector the -audit-drill rests
+// on: any nonzero corruption of the byte counter, injected at any point
+// of any operation sequence, is caught by the shadow ledger on the next
+// operation.
+func FuzzDropTailDrillDetected(f *testing.F) {
+	f.Add([]byte{10, 10, 200}, uint8(1), uint16(3))
+	f.Add([]byte{10, 10, 10, 10, 200, 200}, uint8(4), uint16(1518))
+	f.Fuzz(func(t *testing.T, data []byte, when uint8, delta uint16) {
+		if delta == 0 {
+			return
+		}
+		now := sim.Time(0)
+		aud := audit.New(audit.PolicyWarn, func() sim.Time { return now })
+		dt := NewDropTailQueue(20 * (units.MSS + packet.HeaderBytes))
+		aq := NewAuditedQueue(dt, aud)
+
+		corruptAt := int(when) % (len(data) + 1)
+		for i, b := range data {
+			if i == corruptAt {
+				dt.DrillCorrupt(units.ByteCount(delta))
+			}
+			now += sim.Millisecond
+			if b < 128 {
+				aq.Push(packet.Packet{Flow: 0, Len: int32(units.MSS)})
+			} else {
+				aq.Pop()
+			}
+		}
+		if corruptAt >= len(data) {
+			dt.DrillCorrupt(units.ByteCount(delta))
+		}
+		aq.Pop() // at least one post-corruption operation
+		if aud.Total() == 0 {
+			t.Fatal("corrupted byte counter never detected")
+		}
+		if aud.Violations()[0].Check != "netem/queue-occupancy" {
+			t.Fatalf("first violation %q, want netem/queue-occupancy", aud.Violations()[0].Check)
+		}
+	})
+}

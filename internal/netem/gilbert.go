@@ -5,6 +5,7 @@ import (
 
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
 )
 
 // GilbertElliott is a two-state burst-loss impairment: the classic
@@ -31,6 +32,7 @@ type GilbertElliott struct {
 
 	passed   uint64
 	dropped  uint64
+	dropWire units.ByteCount
 	goodPkts uint64
 	badPkts  uint64
 	bursts   uint64 // Good→Bad transitions
@@ -152,6 +154,7 @@ func (g *GilbertElliott) Send(p packet.Packet) {
 
 	if drop {
 		g.dropped++
+		g.dropWire += p.WireBytes()
 		if g.cfg.OnDrop != nil {
 			g.cfg.OnDrop(g.eng.Now(), p)
 		}
@@ -166,6 +169,9 @@ func (g *GilbertElliott) Passed() uint64 { return g.passed }
 
 // Dropped returns the number of packets dropped by the channel.
 func (g *GilbertElliott) Dropped() uint64 { return g.dropped }
+
+// DropBytes returns cumulative wire bytes dropped by the channel.
+func (g *GilbertElliott) DropBytes() units.ByteCount { return g.dropWire }
 
 // GoodPackets returns the number of packets that met the Good state.
 func (g *GilbertElliott) GoodPackets() uint64 { return g.goodPkts }

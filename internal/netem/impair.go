@@ -3,6 +3,7 @@ package netem
 import (
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
 )
 
 // Impairment models the stochastic features of the Linux netem qdisc
@@ -25,6 +26,9 @@ type Impairment struct {
 
 	passed  uint64
 	dropped uint64
+
+	dropWire   units.ByteCount
+	parkedWire units.ByteCount
 }
 
 // ImpairmentConfig describes the element.
@@ -69,6 +73,7 @@ func NewImpairment(eng *sim.Engine, rng *sim.RNG, cfg ImpairmentConfig, out Sink
 func (im *Impairment) Send(p packet.Packet) {
 	if im.lossProb > 0 && im.rng.Float64() < im.lossProb {
 		im.dropped++
+		im.dropWire += p.WireBytes()
 		if im.onDrop != nil {
 			im.onDrop(im.eng.Now(), p)
 		}
@@ -76,7 +81,11 @@ func (im *Impairment) Send(p packet.Packet) {
 	}
 	im.passed++
 	if im.jitter > 0 {
-		im.eng.After(im.rng.Dur(im.jitter), func() { im.out(p) })
+		im.parkedWire += p.WireBytes()
+		im.eng.After(im.rng.Dur(im.jitter), func() {
+			im.parkedWire -= p.WireBytes()
+			im.out(p)
+		})
 		return
 	}
 	im.out(p)
@@ -87,3 +96,9 @@ func (im *Impairment) Passed() uint64 { return im.passed }
 
 // Dropped returns the number of packets randomly dropped.
 func (im *Impairment) Dropped() uint64 { return im.dropped }
+
+// DropBytes returns cumulative wire bytes of random drops.
+func (im *Impairment) DropBytes() units.ByteCount { return im.dropWire }
+
+// ParkedBytes returns the wire bytes currently parked in jitter delay.
+func (im *Impairment) ParkedBytes() units.ByteCount { return im.parkedWire }

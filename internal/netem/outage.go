@@ -71,6 +71,7 @@ type Outage struct {
 	idx       int // first window whose End is still in the future
 	held      []packet.Packet
 	heldBytes units.ByteCount
+	dropWire  units.ByteCount
 
 	passed  uint64
 	dropped uint64
@@ -134,6 +135,7 @@ func (o *Outage) Send(p packet.Packet) {
 		}
 	}
 	o.dropped++
+	o.dropWire += p.WireBytes()
 	if o.cfg.OnDrop != nil {
 		o.cfg.OnDrop(o.eng.Now(), p)
 	}
@@ -161,3 +163,9 @@ func (o *Outage) Flushed() uint64 { return o.flushed }
 
 // Held returns the packets currently parked.
 func (o *Outage) Held() int { return len(o.held) }
+
+// HeldBytes returns the wire bytes currently parked.
+func (o *Outage) HeldBytes() units.ByteCount { return o.heldBytes }
+
+// DropBytes returns cumulative wire bytes discarded during outages.
+func (o *Outage) DropBytes() units.ByteCount { return o.dropWire }

@@ -44,6 +44,16 @@ type Port struct {
 
 	txBytes   units.ByteCount
 	txPackets uint64
+
+	// Conservation-ledger state: every wire byte offered to the port,
+	// bytes tail-dropped at it, and bytes currently serializing. The
+	// counters are maintained unconditionally (three integer adds per
+	// packet); auditCheck, when set, verifies the port-level
+	// conservation equation after every send and transmit completion.
+	offeredBytes units.ByteCount
+	dropBytes    units.ByteCount
+	serializing  units.ByteCount
+	auditCheck   func(op string)
 }
 
 // NewPort creates a port draining queue at rate, delivering into out.
@@ -70,6 +80,22 @@ func (p *Port) TxBytes() units.ByteCount { return p.txBytes }
 // TxPackets returns cumulative packets transmitted.
 func (p *Port) TxPackets() uint64 { return p.txPackets }
 
+// OfferedBytes returns cumulative wire bytes offered to the port.
+func (p *Port) OfferedBytes() units.ByteCount { return p.offeredBytes }
+
+// DropBytes returns cumulative wire bytes tail-dropped by the port
+// (drop-tail discipline; AQM disciplines report their own drops).
+func (p *Port) DropBytes() units.ByteCount { return p.dropBytes }
+
+// SerializingBytes returns the wire bytes currently on the wire (0 or
+// one packet's worth).
+func (p *Port) SerializingBytes() units.ByteCount { return p.serializing }
+
+// SetAuditCheck installs a conservation check invoked after every send
+// and transmit completion. The check observes only port and queue
+// state; nil removes it.
+func (p *Port) SetAuditCheck(fn func(op string)) { p.auditCheck = fn }
+
 // Utilization returns the fraction of the window [0, now] the port spent
 // transmitting.
 func (p *Port) Utilization() float64 {
@@ -87,14 +113,22 @@ func (p *Port) Utilization() float64 {
 // empty the packet goes straight to the wire; otherwise it joins the
 // queue, or is tail-dropped when the buffer is full.
 func (p *Port) Send(pkt packet.Packet) {
+	p.offeredBytes += pkt.WireBytes()
 	if !p.busy && p.queue.Len() == 0 {
 		p.transmit(pkt)
+		if p.auditCheck != nil {
+			p.auditCheck("send")
+		}
 		return
 	}
 	if !p.queue.Push(pkt) {
+		p.dropBytes += pkt.WireBytes()
 		if p.onDrop != nil {
 			p.onDrop(p.eng.Now(), pkt)
 		}
+	}
+	if p.auditCheck != nil {
+		p.auditCheck("send")
 	}
 }
 
@@ -102,6 +136,7 @@ func (p *Port) Send(pkt packet.Packet) {
 func (p *Port) transmit(pkt packet.Packet) {
 	p.busy = true
 	p.busySince = p.eng.Now()
+	p.serializing += pkt.WireBytes()
 	done := p.rate.TransmissionTime(pkt.WireBytes())
 	p.eng.After(done, func() { p.txDone(pkt) })
 }
@@ -109,10 +144,14 @@ func (p *Port) transmit(pkt packet.Packet) {
 func (p *Port) txDone(pkt packet.Packet) {
 	p.busyTotal += p.eng.Now() - p.busySince
 	p.busy = false
+	p.serializing -= pkt.WireBytes()
 	p.txBytes += pkt.WireBytes()
 	p.txPackets++
 	if next, ok := p.queue.Pop(); ok {
 		p.transmit(next)
+	}
+	if p.auditCheck != nil {
+		p.auditCheck("txDone")
 	}
 	// Deliver after bookkeeping so a sink that sends more traffic
 	// observes a consistent port state.

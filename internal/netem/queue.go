@@ -116,6 +116,12 @@ func (q *DropTailQueue) grow() {
 	q.head = 0
 }
 
+// DrillCorrupt deliberately corrupts the byte-occupancy counter by
+// delta, as if one dequeue had decremented twice. It exists solely for
+// the audit drill (-audit-drill): a seeded accounting bug the
+// conservation ledger must catch. Never call it outside drills.
+func (q *DropTailQueue) DrillCorrupt(delta units.ByteCount) { q.bytes -= delta }
+
 // QueueingDelay estimates the waiting time a packet arriving now would
 // experience before reaching the head of the line, given drain rate
 // rate. Used by tests and by queue-depth instrumentation.

@@ -121,6 +121,13 @@ type Engine struct {
 	// calls interruptFn after every interruptEvery-th processed event.
 	interruptEvery uint64
 	interruptFn    func()
+
+	// auditFn, when set, receives engine invariant violations (a
+	// non-monotone clock, an event scheduled in the past) as structured
+	// reports instead of — or, for causality-protecting panics, in
+	// addition to — a bare panic. Installed by the run supervisor; the
+	// engine stays free of upward dependencies.
+	auditFn func(check, detail string)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -143,6 +150,12 @@ func (e *Engine) Len() int { return len(e.queue) }
 // would corrupt causality.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
+		if e.auditFn != nil {
+			// Under a strict auditor this panics with the structured
+			// violation; under warn it records, and the panic below
+			// still protects causality.
+			e.auditFn("sim/schedule-in-past", fmt.Sprintf("event at %v before now %v", at, e.now))
+		}
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
@@ -187,6 +200,13 @@ func (e *Engine) SetInterrupt(every uint64, fn func()) {
 	e.interruptEvery, e.interruptFn = every, fn
 }
 
+// SetAudit installs the engine's invariant reporter: fn receives a
+// check name ("sim/...") and a detail string whenever an engine
+// invariant fails. Like the interrupt hook, the reporter observes only
+// virtual state at deterministic points, so it cannot perturb
+// determinism. A nil fn removes the hook.
+func (e *Engine) SetAudit(fn func(check, detail string)) { e.auditFn = fn }
+
 // Run executes events in timestamp order until the queue is empty, the
 // next event lies beyond horizon, or Stop is called. It returns the
 // virtual time at which execution stopped: the horizon if it was
@@ -205,6 +225,9 @@ func (e *Engine) Run(horizon Time) Time {
 		next.popped = true
 		if next.cancelled {
 			continue
+		}
+		if e.auditFn != nil && next.at < e.now {
+			e.auditFn("sim/clock-monotone", fmt.Sprintf("popped event at %v behind clock %v", next.at, e.now))
 		}
 		e.now = next.at
 		e.processed++

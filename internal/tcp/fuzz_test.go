@@ -1,0 +1,114 @@
+package tcp
+
+import (
+	"testing"
+
+	"ccatscale/internal/audit"
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// FuzzReceiverSACK drives the receiver's reassembly and SACK generation
+// with arbitrary segment arrival orders under a strict auditor: rcv.nxt
+// must never regress and the out-of-order set must stay sorted, disjoint,
+// and strictly above rcv.nxt after every segment (a violation panics and
+// fails the fuzz run). A completion pass then delivers the whole stream
+// in order and requires full reassembly — whatever the adversarial
+// prefix did, the receiver must still converge to rcv.nxt == total.
+func FuzzReceiverSACK(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 0, 200, 13, 42, 42, 1})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const mss = int64(units.MSS)
+		const segments = 64
+		eng := sim.NewEngine()
+		aud := audit.New(audit.PolicyStrict, eng.Now)
+		var acks int
+		r := NewReceiver(eng, 0, ReceiverConfig{
+			DelAckDelay: DelayedAckTimeout,
+			GROWindow:   GROWindow,
+			Audit:       aud,
+		}, func(p packet.Packet) {
+			acks++
+			if p.CumAck > segments*mss {
+				t.Fatalf("ACK %d beyond the %d bytes ever sent", p.CumAck, segments*mss)
+			}
+		})
+
+		// Adversarial phase: each fuzz byte selects which segment arrives
+		// next (duplicates and arbitrary order included).
+		at := sim.Time(0)
+		for _, b := range data {
+			seg := int64(b) % segments
+			p := packet.Packet{Flow: 0, Seq: seg * mss, Len: int32(mss)}
+			at += 10 * sim.Microsecond
+			eng.Schedule(at, func() { r.OnData(p) })
+		}
+		// Completion phase: the full stream in order.
+		for seg := int64(0); seg < segments; seg++ {
+			p := packet.Packet{Flow: 0, Seq: seg * mss, Len: int32(mss)}
+			at += 10 * sim.Microsecond
+			eng.Schedule(at, func() { r.OnData(p) })
+		}
+		eng.Run(at + sim.Second)
+
+		if r.RcvNxt() != segments*mss {
+			t.Fatalf("reassembly incomplete: rcv.nxt %d, want %d", r.RcvNxt(), segments*mss)
+		}
+		if acks == 0 {
+			t.Fatal("receiver never acknowledged anything")
+		}
+	})
+}
+
+// FuzzSendWindow drives the sender's SACK scoreboard through arbitrary
+// legal operation sequences and recounts it from first principles after
+// every step: the pipe estimate, SACKed/lost counters, and scoreboard
+// ranges must match exactly, and the pipe must never go negative.
+func FuzzSendWindow(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 2, 3, 5, 1})
+	f.Add([]byte{0, 0, 0, 0, 4, 5, 5, 6, 2, 1})
+	f.Add([]byte{0, 2, 0, 2, 3, 5, 6, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		now := sim.Time(0)
+		aud := audit.New(audit.PolicyStrict, func() sim.Time { return now })
+		w := newSendWindow(units.MSS)
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 7
+			// The following byte, when present, selects a segment.
+			var sel int64
+			if i+1 < len(data) {
+				sel = int64(data[i+1])
+			}
+			now += sim.Microsecond
+			switch op {
+			case 0:
+				w.ExtendOne(now)
+			case 1:
+				if n := w.InWindow(); n > 0 {
+					w.Advance(w.Una() + 1 + sel%n)
+				}
+			case 2:
+				if n := w.InWindow(); n > 0 {
+					w.Sack(w.Una() + sel%n)
+				}
+			case 3:
+				w.MarkLost()
+			case 4:
+				w.MarkAllLost()
+			case 5:
+				if seg, ok := w.NextLost(); ok {
+					w.MarkRetransmitted(seg, now)
+				}
+			case 6:
+				w.MarkStaleRtxLost()
+			}
+			if w.Pipe() < 0 {
+				t.Fatalf("pipe went negative: %d", w.Pipe())
+			}
+			w.audit(aud, 0)
+		}
+	})
+}

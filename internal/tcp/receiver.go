@@ -3,6 +3,7 @@ package tcp
 import (
 	"sort"
 
+	"ccatscale/internal/audit"
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
@@ -44,6 +45,8 @@ type ReceiverConfig struct {
 	GROWindow sim.Time
 	// GROMaxSegments caps a single aggregate; 0 picks GROMaxSegments.
 	GROMaxSegments int
+	// Audit enables the reassembly invariant checks (nil = off).
+	Audit *audit.Auditor
 }
 
 // DefaultReceiverConfig models the paper's testbed receivers: Linux
@@ -138,6 +141,16 @@ func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 
 // OnData processes one arriving data segment.
 func (r *Receiver) OnData(p packet.Packet) {
+	if r.cfg.Audit != nil {
+		prev := r.rcvNxt
+		r.onData(p)
+		r.auditReassembly(prev)
+		return
+	}
+	r.onData(p)
+}
+
+func (r *Receiver) onData(p packet.Packet) {
 	r.stats.SegmentsReceived++
 	r.rememberEcho(p)
 	switch {
@@ -169,6 +182,31 @@ func (r *Receiver) OnData(p packet.Packet) {
 		r.stats.OutOfOrderSegments++
 		r.insertOOO(p.Seq, p.End())
 		r.forceAck()
+	}
+}
+
+// auditReassembly validates the reassembly state after one segment:
+// rcv.nxt never moves backwards, and the out-of-order set is sorted,
+// disjoint, and strictly above rcv.nxt (a range at or below it should
+// have been merged). prevNxt is rcv.nxt before the segment was applied.
+func (r *Receiver) auditReassembly(prevNxt int64) {
+	a := r.cfg.Audit
+	if r.rcvNxt < prevNxt {
+		a.Reportf("tcp/rcvnxt-regressed", r.flow,
+			"rcv.nxt moved backwards: %d -> %d", prevNxt, r.rcvNxt)
+	}
+	prevEnd := r.rcvNxt
+	for i, rng := range r.ooo {
+		if rng.start >= rng.end {
+			a.Reportf("tcp/ooo-empty-range", r.flow,
+				"out-of-order range %d is empty: [%d, %d)", i, rng.start, rng.end)
+		}
+		if rng.start <= prevEnd {
+			a.Reportf("tcp/ooo-overlap", r.flow,
+				"out-of-order range %d [%d, %d) not strictly above %d (rcv.nxt or previous range)",
+				i, rng.start, rng.end, prevEnd)
+		}
+		prevEnd = rng.end
 	}
 }
 

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"ccatscale/internal/audit"
 	"ccatscale/internal/cca"
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
@@ -63,6 +64,10 @@ type Config struct {
 	// OnComplete fires once when a finite transfer is fully
 	// acknowledged; ignored for infinite streams.
 	OnComplete func()
+	// Audit enables the transport invariant checks (nil = off): cheap
+	// per-ACK sequence/pipe/timer checks plus a periodic full SACK
+	// scoreboard recount.
+	Audit *audit.Auditor
 }
 
 // Sender is the data-source side of a simulated TCP connection,
@@ -124,6 +129,10 @@ type Sender struct {
 
 	started bool
 
+	// Audit state.
+	aud      *audit.Auditor
+	ackCount uint64
+
 	// Finite-transfer state: endSeg is the segment count of the
 	// transfer (0 = infinite); completed latches OnComplete.
 	endSeg     int64
@@ -153,6 +162,7 @@ func NewSender(eng *sim.Engine, flow int32, cfg Config) *Sender {
 		out:    cfg.Output,
 		cc:     cfg.CCA,
 		window: newSendWindow(mss),
+		aud:    cfg.Audit,
 	}
 	s.rtoTimer = sim.NewTimer(eng, s.onRTO)
 	s.paceTimer = sim.NewTimer(eng, s.trySend)
@@ -208,6 +218,12 @@ func (s *Sender) OnAck(p packet.Packet) {
 
 	// 1. Cumulative acknowledgment.
 	ackSeg := p.CumAck / int64(s.mss)
+	if s.aud != nil && ackSeg > s.window.Nxt() {
+		// "No ACK for unsent data": the receiver cannot acknowledge
+		// bytes the sender never transmitted.
+		s.aud.Reportf("tcp/ack-beyond-nxt", s.flow,
+			"cumulative ACK for segment %d beyond snd.nxt %d", ackSeg, s.window.Nxt())
+	}
 	var newlyDelivered units.ByteCount
 	advanced := ackSeg > s.window.Una()
 	if advanced {
@@ -302,6 +318,40 @@ func (s *Sender) OnAck(p packet.Packet) {
 
 	// 10. Send whatever the updated window and pacing allow.
 	s.trySend()
+
+	if s.aud != nil {
+		s.auditAck()
+	}
+}
+
+// auditAckEvery is the period (in ACKs) of the full SACK-scoreboard
+// recount. The recount is O(window); the per-ACK checks below are O(1),
+// which keeps strict auditing affordable at sweep scale.
+const auditAckEvery = 256
+
+// auditAck runs the transport invariants after one fully processed ACK.
+func (s *Sender) auditAck() {
+	s.ackCount++
+	w := s.window
+	if w.Una() > w.Nxt() {
+		s.aud.Reportf("tcp/una-beyond-nxt", s.flow,
+			"snd.una %d beyond snd.nxt %d", w.Una(), w.Nxt())
+	}
+	if pipe := w.Pipe(); pipe < 0 {
+		s.aud.Reportf("tcp/pipe-negative", s.flow, "pipe estimate %d bytes", pipe)
+	} else if inWin := units.ByteCount(w.InWindow()) * s.mss; pipe > inWin {
+		s.aud.Reportf("tcp/pipe-overflow", s.flow,
+			"pipe estimate %d exceeds outstanding window %d", pipe, inWin)
+	}
+	if rto := s.rto(); rto <= 0 {
+		s.aud.Reportf("tcp/rto-nonpositive", s.flow, "RTO %v", rto)
+	}
+	if rate := s.cc.PacingRate(); rate < 0 {
+		s.aud.Reportf("tcp/pacing-negative", s.flow, "pacing rate %d", int64(rate))
+	}
+	if s.ackCount%auditAckEvery == 0 {
+		w.audit(s.aud, s.flow)
+	}
 }
 
 // rateSample implements the delivery-rate estimator: delivered-byte and

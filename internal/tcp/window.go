@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 
+	"ccatscale/internal/audit"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
 )
@@ -313,6 +314,48 @@ func (w *sendWindow) MarkStaleRtxLost() units.ByteCount {
 		w.rtxLog = nil // release the backing array once drained
 	}
 	return lost
+}
+
+// audit recounts the SACK scoreboard from first principles and compares
+// against the incrementally maintained counters: the pipe estimate must
+// equal the bytes in segSent/segRtx states (RFC 6675's definition under
+// this transport's accounting), and the SACKed/lost counters must match
+// the ring. The recount is O(window), so the sender runs it
+// periodically rather than per ACK.
+func (w *sendWindow) audit(a *audit.Auditor, flow int32) {
+	if w.base > w.next {
+		a.Reportf("tcp/una-beyond-nxt", flow, "snd.una %d beyond snd.nxt %d", w.base, w.next)
+		return
+	}
+	var pipe units.ByteCount
+	sacked, lost := 0, 0
+	for seg := w.base; seg < w.next; seg++ {
+		switch w.state(seg) {
+		case segSent, segRtx:
+			pipe += w.mss
+		case segSacked:
+			sacked++
+		case segLost:
+			lost++
+		}
+	}
+	if pipe != w.pipe {
+		a.Reportf("tcp/scoreboard-pipe", flow,
+			"pipe counter %d != recounted in-flight bytes %d (window [%d, %d))",
+			w.pipe, pipe, w.base, w.next)
+	}
+	if sacked != w.sackedCount {
+		a.Reportf("tcp/scoreboard-sacked", flow,
+			"sacked counter %d != recounted %d", w.sackedCount, sacked)
+	}
+	if lost != w.lostCount {
+		a.Reportf("tcp/scoreboard-lost", flow,
+			"lost counter %d != recounted %d", w.lostCount, lost)
+	}
+	if w.highestSacked >= w.next {
+		a.Reportf("tcp/scoreboard-sack-range", flow,
+			"highest SACKed segment %d at or beyond snd.nxt %d", w.highestSacked, w.next)
+	}
 }
 
 // HasLost reports whether any segment awaits retransmission.
