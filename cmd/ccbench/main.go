@@ -1,0 +1,245 @@
+// Command ccbench runs the repo's Go benchmarks and records the
+// results as a JSON document (BENCH_pr3.json at the repo root), so
+// performance claims in EXPERIMENTS.md are backed by a committed,
+// machine-readable artifact and CI can diff against it.
+//
+// Two modes:
+//
+//	ccbench -label optimized                 # run benchmarks, merge under "optimized"
+//	ccbench -label baseline -parse old.txt   # parse saved `go test -bench` output
+//
+// The -parse mode exists so a baseline captured before a change (when
+// the old code could still run) can be folded into the same document
+// as the post-change numbers.
+//
+// Output schema (ccbench/v1):
+//
+//	{
+//	  "schema": "ccbench/v1",
+//	  "entries": {
+//	    "<label>": {
+//	      "capturedAt": "RFC3339",
+//	      "goVersion": "go1.24.0",
+//	      "command": "go test -bench ...",
+//	      "benchmarks": {
+//	        "<BenchmarkName>": {
+//	          "runs": 5,
+//	          "nsPerOp": 1.2e8,          // mean over runs
+//	          "minNsPerOp": ..., "maxNsPerOp": ...,
+//	          "allocsPerOp": ..., "bytesPerOp": ...,
+//	          "metrics": {"events/run": ...}   // custom b.ReportMetric units
+//	        }
+//	      }
+//	    }
+//	  }
+//	}
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	MinNsPerOp  float64            `json:"minNsPerOp"`
+	MaxNsPerOp  float64            `json:"maxNsPerOp"`
+	AllocsPerOp float64            `json:"allocsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type entry struct {
+	CapturedAt string                  `json:"capturedAt"`
+	GoVersion  string                  `json:"goVersion"`
+	Command    string                  `json:"command"`
+	Benchmarks map[string]*benchResult `json:"benchmarks"`
+}
+
+type document struct {
+	Schema  string            `json:"schema"`
+	Entries map[string]*entry `json:"entries"`
+}
+
+func main() {
+	var (
+		label     = flag.String("label", "current", "entry name to record results under")
+		benchRe   = flag.String("bench", "BenchmarkEngineThroughput|BenchmarkSchedule|BenchmarkTimerChurn|BenchmarkScheduleCancel|BenchmarkQueuePushPop|BenchmarkPipeSend", "benchmark regex passed to go test -bench")
+		pkgs      = flag.String("pkgs", "./...", "space-separated package patterns to benchmark")
+		count     = flag.Int("count", 3, "benchmark repetitions (go test -count)")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		out       = flag.String("out", "BENCH_pr3.json", "JSON document to create or merge into")
+		parse     = flag.String("parse", "", "parse saved `go test -bench` output from this file instead of running")
+		show      = flag.Bool("v", false, "stream go test output to stderr while running")
+	)
+	flag.Parse()
+
+	var (
+		raw     []byte
+		command string
+		err     error
+	)
+	if *parse != "" {
+		raw, err = os.ReadFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		command = "parsed from " + *parse
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *benchRe,
+			"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+		args = append(args, strings.Fields(*pkgs)...)
+		command = "go " + strings.Join(args, " ")
+		fmt.Fprintf(os.Stderr, "ccbench: %s\n", command)
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		if *show {
+			cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+		} else {
+			cmd.Stdout = &buf
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		raw = buf.Bytes()
+	}
+
+	benches := parseBenchOutput(raw)
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in output"))
+	}
+
+	doc := &document{Schema: "ccbench/v1", Entries: map[string]*entry{}}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, doc); err != nil {
+			fatal(fmt.Errorf("existing %s is not a ccbench document: %w", *out, err))
+		}
+	}
+	if doc.Entries == nil {
+		doc.Entries = map[string]*entry{}
+	}
+	doc.Schema = "ccbench/v1"
+	doc.Entries[*label] = &entry{
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Command:    command,
+		Benchmarks: benches,
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ccbench: wrote %d benchmarks under %q to %s\n", len(benches), *label, *out)
+	for name, r := range benches {
+		fmt.Fprintf(os.Stderr, "  %-32s %12.0f ns/op %10.0f allocs/op %12.0f B/op (%d runs)\n",
+			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Runs)
+	}
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName[-P]  iters  V1 unit1  V2 unit2 ...
+//
+// averaging repeated runs of the same benchmark.
+func parseBenchOutput(raw []byte) map[string]*benchResult {
+	type acc struct {
+		runs              int
+		ns, allocs, bytes float64
+		minNs, maxNs      float64
+		metrics           map[string]float64
+	}
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{metrics: map[string]float64{}}
+			accs[name] = a
+		}
+		var ns float64
+		nsSeen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				ns, nsSeen = v, true
+			case "allocs/op":
+				a.allocs += v
+			case "B/op":
+				a.bytes += v
+			default:
+				a.metrics[unit] += v
+			}
+		}
+		if !nsSeen {
+			continue
+		}
+		if a.runs == 0 || ns < a.minNs {
+			a.minNs = ns
+		}
+		if ns > a.maxNs {
+			a.maxNs = ns
+		}
+		a.ns += ns
+		a.runs++
+	}
+	out := map[string]*benchResult{}
+	for name, a := range accs {
+		if a.runs == 0 {
+			continue
+		}
+		n := float64(a.runs)
+		r := &benchResult{
+			Runs:        a.runs,
+			NsPerOp:     a.ns / n,
+			MinNsPerOp:  a.minNs,
+			MaxNsPerOp:  a.maxNs,
+			AllocsPerOp: a.allocs / n,
+			BytesPerOp:  a.bytes / n,
+		}
+		if len(a.metrics) > 0 {
+			r.Metrics = map[string]float64{}
+			for k, v := range a.metrics {
+				r.Metrics[k] = v / n
+			}
+		}
+		out[name] = r
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command fprint emits a deterministic fingerprint of simulation
+// behavior across CCAs, seeds, and impairment configurations. It exists
+// to verify bit-identity of hot-path optimizations: run it before and
+// after a change and diff the output.
+package main
+
+import (
+	"fmt"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+func main() {
+	ccas := []string{"reno", "cubic", "cubic-nohystart", "bbr", "bbr2"}
+	for _, cca := range ccas {
+		for _, seed := range []uint64{1, 7, 42} {
+			cfg := core.RunConfig{
+				Rate:           50 * units.MbitPerSec,
+				Buffer:         units.BDP(50*units.MbitPerSec, 40*sim.Millisecond),
+				Flows:          core.UniformFlows(4, cca, 20*sim.Millisecond),
+				Warmup:         2 * sim.Second,
+				Duration:       8 * sim.Second,
+				Stagger:        sim.Second,
+				Seed:           seed,
+				SeriesInterval: 500 * sim.Millisecond,
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				fmt.Printf("%s/%d: ERR %v\n", cca, seed, err)
+				continue
+			}
+			fmt.Printf("%s/%d: events=%d drops=%d agg=%d util=%.12f burst=%.12f\n",
+				cca, seed, res.Events, res.TotalDrops, int64(res.AggregateGoodput), res.Utilization, res.DropBurstiness)
+			for i, f := range res.Flows {
+				fmt.Printf("  f%d sent=%d rtx=%d fr=%d rto=%d good=%d meanRTT=%d drops=%d\n",
+					i, f.SegmentsSent, f.Retransmissions, f.FastRecoveries, f.RTOs, int64(f.Goodput), int64(f.MeanRTT), f.Drops)
+			}
+			for _, pt := range res.Series {
+				fmt.Printf("  s %d %v\n", int64(pt.At), pt.Rates)
+			}
+		}
+	}
+	// Impairment paths: jitter, burst loss, outage, codel, audit strict.
+	variants := []struct {
+		name string
+		mut  func(*core.RunConfig)
+	}{
+		{"jitter", func(c *core.RunConfig) { c.Jitter = 2 * sim.Millisecond; c.RandomLoss = 0.001 }},
+		{"burst", func(c *core.RunConfig) { c.BurstLoss = &core.BurstLossSpec{MeanLoss: 0.005, MeanBurstLen: 4} }},
+		{"outage", func(c *core.RunConfig) {
+			c.Outage = &core.OutageSpec{Start: 3 * sim.Second, Down: 300 * sim.Millisecond, Period: 2 * sim.Second, Count: 2}
+		}},
+		{"codel", func(c *core.RunConfig) { c.AQM = "codel" }},
+		{"strict", func(c *core.RunConfig) { c.Audit = "strict" }},
+	}
+	for _, v := range variants {
+		cfg := core.RunConfig{
+			Rate:     50 * units.MbitPerSec,
+			Buffer:   units.BDP(50*units.MbitPerSec, 40*sim.Millisecond),
+			Flows:    core.MixedFlows(4, "cubic", "bbr", 20*sim.Millisecond),
+			Warmup:   2 * sim.Second,
+			Duration: 8 * sim.Second,
+			Stagger:  sim.Second,
+			Seed:     42,
+		}
+		v.mut(&cfg)
+		res, err := core.Run(cfg)
+		if err != nil {
+			fmt.Printf("%s: ERR %v\n", v.name, err)
+			continue
+		}
+		fmt.Printf("%s: events=%d drops=%d rnd=%d burst=%d out=%d agg=%d util=%.12f\n",
+			v.name, res.Events, res.TotalDrops, res.RandomDrops, res.BurstDrops, res.OutageDrops,
+			int64(res.AggregateGoodput), res.Utilization)
+		for i, f := range res.Flows {
+			fmt.Printf("  f%d sent=%d rtx=%d fr=%d rto=%d good=%d meanRTT=%d drops=%d\n",
+				i, f.SegmentsSent, f.Retransmissions, f.FastRecoveries, f.RTOs, int64(f.Goodput), int64(f.MeanRTT), f.Drops)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,8 +63,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	panicJob := fs.String("panicjob", "", "inject a mid-run panic into the named job (supervisor drill)")
 	wallLimit := fs.Duration("runwall", 0, "wall-clock limit per simulation run (0 = unlimited)")
 	auditPol := fs.String("audit", "", "invariant auditing for every run: off (default), warn, or strict")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile at sweep end to this file (go tool pprof)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "reproduce:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "reproduce:", err)
+			}
+		}()
 	}
 
 	var onlyRE *regexp.Regexp

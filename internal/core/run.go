@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -478,7 +479,10 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		s.Start(rng.Dur(cfg.Stagger))
 	}
 
-	// Optional per-CCA goodput time series.
+	// Optional per-CCA goodput time series. The sample buffer is reused
+	// across ticks (the series copies what it retains) and the retained
+	// points are preallocated from the horizon, so sampling stays off
+	// the allocator for the whole run.
 	var series *trace.ThroughputSeries
 	var seriesNames []string
 	if cfg.SeriesInterval > 0 {
@@ -489,14 +493,18 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 				seriesNames = append(seriesNames, f.CCA)
 			}
 		}
+		sample := make([]units.ByteCount, len(seriesNames))
 		series = trace.NewThroughputSeries(eng, cfg.SeriesInterval, seriesNames,
 			func() []units.ByteCount {
-				out := make([]units.ByteCount, len(seriesNames))
-				for i, f := range cfg.Flows {
-					out[seen[f.CCA]] += receivers[i].Stats().Delivered
+				for i := range sample {
+					sample[i] = 0
 				}
-				return out
+				for i, f := range cfg.Flows {
+					sample[seen[f.CCA]] += receivers[i].Stats().Delivered
+				}
+				return sample
 			}, true, nil)
+		series.Preallocate(cfg.Warmup + cfg.Duration)
 		series.Start(0)
 	}
 
@@ -691,6 +699,14 @@ func (r RunResult) ShareByCCA() map[string]float64 {
 // RunMany executes several runs concurrently (each run is internally
 // single-threaded and deterministic) and returns results in input
 // order.
+//
+// Failures do not discard completed work: the returned slice always has
+// one entry per config, holding the result for every run that
+// succeeded (and the zero RunResult where one failed), and the error
+// joins every failure via errors.Join, each tagged with its config
+// index. The semaphore is taken before each goroutine is spawned, so a
+// 10k-config sweep keeps at most parallelism goroutines in flight
+// instead of materializing all 10k up front.
 func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
 	if parallelism <= 0 {
 		parallelism = 1
@@ -700,21 +716,20 @@ func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i := range cfgs {
+		sem <- struct{}{} // bound spawned goroutines, not just running ones
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(cfgs[i])
+			res, err := Run(cfgs[i])
+			results[i] = res
+			if err != nil {
+				errs[i] = fmt.Errorf("config %d: %w", i, err)
+			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // UniformFlows builds n flows of the same CCA and RTT.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"ccatscale/internal/cca"
@@ -251,5 +252,44 @@ func TestSettingPresets(t *testing.T) {
 	wantBuf := units.BDP(s.Rate, 200*sim.Millisecond) * 3 / 2
 	if s.Buffer != wantBuf {
 		t.Fatalf("scaled buffer = %v, want %v", s.Buffer, wantBuf)
+	}
+}
+
+// TestRunManyPartialFailure is the regression test for the old
+// fail-fast RunMany: one bad config out of five must not discard the
+// four good results, and the joined error must name the failing index.
+func TestRunManyPartialFailure(t *testing.T) {
+	s := tinySetting()
+	s.Duration = 4 * sim.Second
+	s.Warmup = 1 * sim.Second
+	cfgs := []RunConfig{
+		s.Config(UniformFlows(2, "reno", DefaultRTT), 1),
+		s.Config(UniformFlows(2, "cubic", DefaultRTT), 2),
+		s.Config(UniformFlows(2, "reno", DefaultRTT), 3),
+		s.Config(UniformFlows(2, "reno", DefaultRTT), 4),
+		s.Config(UniformFlows(2, "bbr", DefaultRTT), 5),
+	}
+	cfgs[3].Duration = -1 // invalid: fails validation inside Run
+
+	res, err := RunMany(cfgs, 2)
+	if err == nil {
+		t.Fatal("RunMany returned nil error with a failing config")
+	}
+	if !strings.Contains(err.Error(), "config 3") {
+		t.Fatalf("error does not name the failing index: %v", err)
+	}
+	if len(res) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(res), len(cfgs))
+	}
+	for i, r := range res {
+		if i == 3 {
+			if len(r.Flows) != 0 {
+				t.Fatalf("failed config %d produced flows", i)
+			}
+			continue
+		}
+		if len(r.Flows) != 2 {
+			t.Fatalf("successful config %d has %d flows, want 2", i, len(r.Flows))
+		}
 	}
 }

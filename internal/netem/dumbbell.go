@@ -35,6 +35,15 @@ type Dumbbell struct {
 	toReceiver Sink
 	toSender   Sink
 
+	// Delivery pools and once-constructed sink adapters: the forward
+	// propagation hop and the reverse ACK path each schedule one event
+	// per packet, reusing pooled bound-method events instead of
+	// allocating a closure per packet.
+	fwdPool *deliveryPool
+	revPool *deliveryPool
+	recvFn  Sink // delivers into toReceiver (audited variant tracks propBytes)
+	ackFn   Sink // delivers into toSender
+
 	// Audit state (nil/zero when auditing is off).
 	aud       *audit.Auditor
 	aq        *AuditedQueue
@@ -110,7 +119,18 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		eng:      eng,
 		aud:      cfg.Audit,
 		revDelay: make([]sim.Time, len(cfg.RTT)),
+		fwdPool:  newDeliveryPool(),
+		revPool:  newDeliveryPool(),
 	}
+	if cfg.Audit != nil {
+		d.recvFn = func(p packet.Packet) {
+			d.propBytes -= p.WireBytes()
+			d.toReceiver(p)
+		}
+	} else {
+		d.recvFn = func(p packet.Packet) { d.toReceiver(p) }
+	}
+	d.ackFn = func(p packet.Packet) { d.toSender(p) }
 	for i, rtt := range cfg.RTT {
 		rev := rtt - fwdPropDelay
 		if rev < 0 {
@@ -199,13 +219,8 @@ func (d *Dumbbell) SendData(p packet.Packet) {
 func (d *Dumbbell) deliverData(p packet.Packet) {
 	if d.aud != nil {
 		d.propBytes += p.WireBytes()
-		d.eng.After(fwdPropDelay, func() {
-			d.propBytes -= p.WireBytes()
-			d.toReceiver(p)
-		})
-		return
 	}
-	d.eng.After(fwdPropDelay, func() { d.toReceiver(p) })
+	d.eng.After(fwdPropDelay, d.fwdPool.get(d.recvFn, p).fn)
 }
 
 // PropagatingBytes returns the wire bytes currently in forward
@@ -237,6 +252,5 @@ func (d *Dumbbell) DrillCorruptQueue() bool {
 // sender over the uncongested reverse path after the flow's base-RTT
 // delay.
 func (d *Dumbbell) SendAck(p packet.Packet) {
-	delay := d.revDelay[p.Flow]
-	d.eng.After(delay, func() { d.toSender(p) })
+	d.eng.After(d.revDelay[p.Flow], d.revPool.get(d.ackFn, p).fn)
 }

@@ -29,6 +29,11 @@ type Impairment struct {
 
 	dropWire   units.ByteCount
 	parkedWire units.ByteCount
+
+	// Jittered packets ride pooled bound-method events; jitterFn is the
+	// once-constructed sink that unparks and forwards.
+	pool     *deliveryPool
+	jitterFn Sink
 }
 
 // ImpairmentConfig describes the element.
@@ -59,14 +64,20 @@ func NewImpairment(eng *sim.Engine, rng *sim.RNG, cfg ImpairmentConfig, out Sink
 	if cfg.Jitter < 0 {
 		panic("netem: negative jitter")
 	}
-	return &Impairment{
+	im := &Impairment{
 		eng:      eng,
 		rng:      rng,
 		out:      out,
 		lossProb: cfg.LossProb,
 		jitter:   cfg.Jitter,
 		onDrop:   cfg.OnDrop,
+		pool:     newDeliveryPool(),
 	}
+	im.jitterFn = func(p packet.Packet) {
+		im.parkedWire -= p.WireBytes()
+		im.out(p)
+	}
+	return im
 }
 
 // Send applies loss and jitter to one packet.
@@ -82,10 +93,7 @@ func (im *Impairment) Send(p packet.Packet) {
 	im.passed++
 	if im.jitter > 0 {
 		im.parkedWire += p.WireBytes()
-		im.eng.After(im.rng.Dur(im.jitter), func() {
-			im.parkedWire -= p.WireBytes()
-			im.out(p)
-		})
+		im.eng.After(im.rng.Dur(im.jitter), im.pool.get(im.jitterFn, p).fn)
 		return
 	}
 	im.out(p)

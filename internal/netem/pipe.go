@@ -14,6 +14,7 @@ type Pipe struct {
 	eng   *sim.Engine
 	delay sim.Time
 	out   Sink
+	pool  *deliveryPool
 }
 
 // NewPipe builds a delay line of the given one-way latency.
@@ -24,7 +25,7 @@ func NewPipe(eng *sim.Engine, delay sim.Time, out Sink) *Pipe {
 	if out == nil {
 		panic("netem: pipe without sink")
 	}
-	return &Pipe{eng: eng, delay: delay, out: out}
+	return &Pipe{eng: eng, delay: delay, out: out, pool: newDeliveryPool()}
 }
 
 // Delay returns the configured one-way latency.
@@ -32,5 +33,5 @@ func (pi *Pipe) Delay() sim.Time { return pi.delay }
 
 // Send schedules delivery of p after the pipe's delay.
 func (pi *Pipe) Send(p packet.Packet) {
-	pi.eng.After(pi.delay, func() { pi.out(p) })
+	pi.eng.After(pi.delay, pi.pool.get(pi.out, p).fn)
 }

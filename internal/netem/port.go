@@ -54,6 +54,12 @@ type Port struct {
 	dropBytes    units.ByteCount
 	serializing  units.ByteCount
 	auditCheck   func(op string)
+
+	// The in-flight serialization is completed by a single reusable
+	// bound-method event: the port transmits one packet at a time, so
+	// the packet rides in txPkt instead of a per-packet closure.
+	txPkt    packet.Packet
+	txDoneFn func()
 }
 
 // NewPort creates a port draining queue at rate, delivering into out.
@@ -65,7 +71,9 @@ func NewPort(eng *sim.Engine, rate units.Bandwidth, queue Queue, out Sink, onDro
 	if out == nil {
 		panic("netem: port without sink")
 	}
-	return &Port{eng: eng, rate: rate, queue: queue, out: out, onDrop: onDrop}
+	p := &Port{eng: eng, rate: rate, queue: queue, out: out, onDrop: onDrop}
+	p.txDoneFn = p.txDone // bound once; rescheduled per transmission
+	return p
 }
 
 // Rate returns the configured line rate.
@@ -137,11 +145,13 @@ func (p *Port) transmit(pkt packet.Packet) {
 	p.busy = true
 	p.busySince = p.eng.Now()
 	p.serializing += pkt.WireBytes()
+	p.txPkt = pkt
 	done := p.rate.TransmissionTime(pkt.WireBytes())
-	p.eng.After(done, func() { p.txDone(pkt) })
+	p.eng.After(done, p.txDoneFn)
 }
 
-func (p *Port) txDone(pkt packet.Packet) {
+func (p *Port) txDone() {
+	pkt := p.txPkt // copy before transmit(next) reuses the slot
 	p.busyTotal += p.eng.Now() - p.busySince
 	p.busy = false
 	p.serializing -= pkt.WireBytes()
@@ -149,6 +159,8 @@ func (p *Port) txDone(pkt packet.Packet) {
 	p.txPackets++
 	if next, ok := p.queue.Pop(); ok {
 		p.transmit(next)
+	} else {
+		p.txPkt = packet.Packet{}
 	}
 	if p.auditCheck != nil {
 		p.auditCheck("txDone")

@@ -23,7 +23,8 @@ type DropTailQueue struct {
 	capacity units.ByteCount
 	bytes    units.ByteCount
 
-	ring []packet.Packet
+	ring []packet.Packet // length is always a power of two
+	mask int             // len(ring) - 1, for index masking
 	head int
 	n    int
 
@@ -35,14 +36,27 @@ type DropTailQueue struct {
 }
 
 // NewDropTailQueue creates a queue holding at most capacity bytes of
-// packets (wire sizes).
+// packets (wire sizes). The ring is pre-sized so a queue full of
+// full-size frames never grows: steady-state enqueue/dequeue is
+// allocation-free.
 func NewDropTailQueue(capacity units.ByteCount) *DropTailQueue {
 	if capacity <= 0 {
 		panic("netem: non-positive queue capacity")
 	}
+	// Worst case for full-size traffic: capacity ÷ one MSS frame, plus
+	// one slot of slack; rounded up to a power of two so Push/Pop mask
+	// instead of dividing. Smaller-than-MSS packets can still exceed
+	// this and trigger grow, which doubles (preserving the power of
+	// two).
+	frames := int(capacity/(units.MSS+packet.HeaderBytes)) + 1
+	size := 1024
+	for size < frames {
+		size <<= 1
+	}
 	return &DropTailQueue{
 		capacity: capacity,
-		ring:     make([]packet.Packet, 1024),
+		ring:     make([]packet.Packet, size),
+		mask:     size - 1,
 	}
 }
 
@@ -80,7 +94,7 @@ func (q *DropTailQueue) Push(p packet.Packet) bool {
 	if q.n == len(q.ring) {
 		q.grow()
 	}
-	q.ring[(q.head+q.n)%len(q.ring)] = p
+	q.ring[(q.head+q.n)&q.mask] = p
 	q.n++
 	q.bytes += wire
 	q.enqueued++
@@ -101,7 +115,7 @@ func (q *DropTailQueue) Pop() (packet.Packet, bool) {
 	}
 	p := q.ring[q.head]
 	q.ring[q.head] = packet.Packet{} // clear for GC hygiene of any future pointer fields
-	q.head = (q.head + 1) % len(q.ring)
+	q.head = (q.head + 1) & q.mask
 	q.n--
 	q.bytes -= p.WireBytes()
 	return p, true
@@ -110,9 +124,10 @@ func (q *DropTailQueue) Pop() (packet.Packet, bool) {
 func (q *DropTailQueue) grow() {
 	bigger := make([]packet.Packet, 2*len(q.ring))
 	for i := 0; i < q.n; i++ {
-		bigger[i] = q.ring[(q.head+i)%len(q.ring)]
+		bigger[i] = q.ring[(q.head+i)&q.mask]
 	}
 	q.ring = bigger
+	q.mask = len(bigger) - 1
 	q.head = 0
 }
 

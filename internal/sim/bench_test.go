@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedule measures the pooled schedule+fire cycle — the
+// engine's per-event cost with a primed free list.
+func BenchmarkSchedule(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.After(1, fn)
+	}
+	eng.Run(MaxTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, fn)
+		if i%64 == 63 {
+			eng.Run(MaxTime)
+		}
+	}
+	eng.Run(MaxTime)
+}
+
+// BenchmarkTimerChurn measures the rearm-heavy RTO pattern: each Reset
+// lazily cancels the previous arm, exercising pool recycling and heap
+// compaction together.
+func BenchmarkTimerChurn(b *testing.B) {
+	eng := NewEngine()
+	tm := NewTimer(eng, func() {})
+	tm.Reset(1 << 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(1 << 40)
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule-then-cancel churn, the
+// pacing-timer pattern under bursty ACK arrival.
+func BenchmarkScheduleCancel(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.After(1, fn)
+	}
+	eng.Run(MaxTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1000, fn).Cancel()
+	}
+}

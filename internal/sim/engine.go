@@ -9,10 +9,17 @@
 // two runs with the same configuration and seed produce bit-identical
 // results, which makes every reported number in EXPERIMENTS.md
 // reproducible.
+//
+// The event hot path is allocation-free in steady state: fired and
+// cancelled events return to an engine-owned free list and Schedule
+// reuses them, and the binary heap compacts itself when lazily-cancelled
+// corpses outnumber live entries. At CoreScale (hundreds of millions of
+// packet, timer, and sample events per run) this is the difference
+// between running at memory speed and running at garbage-collector
+// speed.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -59,11 +66,20 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Events may be cancelled while pending. Cancellation is lazy: the heap
 // entry stays in place and is discarded when popped, which keeps timer
 // churn (TCP retransmission timers are rearmed on almost every ACK)
-// cheap.
+// cheap. The engine compacts the heap when lazily-cancelled corpses
+// outnumber live entries, so churn cannot grow the heap without bound.
+//
+// An *Event handle is valid until the event fires or its cancellation is
+// collected: the engine then recycles the Event for a future Schedule.
+// Cancel and Pending on a stale handle are safe no-ops until the moment
+// of reuse, but a holder that may outlive its event must use Timer,
+// which detects recycling through a generation counter.
 type Event struct {
 	at  Time
 	seq uint64 // tie-break so equal timestamps run FIFO
 	fn  func()
+	eng *Engine
+	gen uint64 // incremented on recycle; Timer's staleness check
 
 	cancelled bool
 	popped    bool
@@ -75,9 +91,12 @@ func (e *Event) At() Time { return e.at }
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled || e.popped {
+		return
 	}
+	e.cancelled = true
+	e.eng.live--
+	e.eng.maybeCompact()
 }
 
 // Pending reports whether the event is still scheduled to fire.
@@ -85,33 +104,21 @@ func (e *Event) Pending() bool {
 	return e != nil && !e.cancelled && !e.popped
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct one with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event // binary min-heap ordered by (at, seq)
 	nextSeq uint64
 	stopped bool
+
+	// live counts heap entries that are still scheduled to fire; the
+	// difference to len(queue) is lazily-cancelled corpses.
+	live int
+
+	// free is the event free list: fired and collected events are
+	// recycled here so steady-state scheduling never allocates.
+	free []*Event
 
 	// processed counts events executed so far; useful for progress
 	// reporting and for sanity limits in tests.
@@ -132,7 +139,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{queue: make(eventHeap, 0, 1024)}
+	return &Engine{queue: make([]*Event, 0, 1024)}
 }
 
 // Now returns the current virtual time.
@@ -141,9 +148,37 @@ func (e *Engine) Now() Time { return e.now }
 // Processed reports the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Len reports the number of queue entries, including lazily cancelled
-// ones. It is a capacity indicator, not an exact count of live events.
-func (e *Engine) Len() int { return len(e.queue) }
+// Len reports the number of live (pending, not cancelled) events. The
+// run supervisor's stall guard and capacity heuristics rely on this
+// being an exact count, not an estimate inflated by lazily-cancelled
+// corpses.
+func (e *Engine) Len() int { return e.live }
+
+// Cap reports the raw heap size, including lazily-cancelled entries
+// awaiting collection — the engine's actual memory footprint indicator.
+func (e *Engine) Cap() int { return len(e.queue) }
+
+// acquire returns a recycled event from the free list, or a new one.
+func (e *Engine) acquire() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{eng: e}
+}
+
+// release recycles an event that fired or whose cancellation was
+// collected. The closure reference is dropped immediately so the pool
+// never extends closure lifetimes; the generation bump invalidates any
+// Timer still holding the handle.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.gen++
+	ev.popped = true
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn at virtual time at. Scheduling in the past panics:
 // it always indicates a logic error in the caller, and silently clamping
@@ -158,9 +193,15 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		}
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	ev := e.acquire()
+	ev.at = at
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.cancelled = false
+	ev.popped = false
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.live++
+	e.heapPush(ev)
 	return ev
 }
 
@@ -217,21 +258,29 @@ func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
+		if next.cancelled {
+			// Collect a corpse that bubbled to the top.
+			e.heapPopTop()
+			e.release(next)
+			continue
+		}
 		if next.at > horizon {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		next.popped = true
-		if next.cancelled {
-			continue
+		e.heapPopTop()
+		at, fn := next.at, next.fn
+		e.live--
+		// Recycle before executing: fn may Schedule and reuse the slot,
+		// and a Timer watching this event observes the generation bump
+		// exactly as it previously observed the popped flag.
+		e.release(next)
+		if e.auditFn != nil && at < e.now {
+			e.auditFn("sim/clock-monotone", fmt.Sprintf("popped event at %v behind clock %v", at, e.now))
 		}
-		if e.auditFn != nil && next.at < e.now {
-			e.auditFn("sim/clock-monotone", fmt.Sprintf("popped event at %v behind clock %v", next.at, e.now))
-		}
-		e.now = next.at
+		e.now = at
 		e.processed++
-		next.fn()
+		fn()
 		if e.interruptEvery > 0 && e.processed%e.interruptEvery == 0 {
 			e.interruptFn()
 		}
@@ -244,13 +293,104 @@ func (e *Engine) Run(horizon Time) Time {
 	return e.now
 }
 
+// compactMin is the heap size below which compaction is never worth the
+// rebuild; tiny heaps drain their corpses through ordinary pops.
+const compactMin = 64
+
+// maybeCompact rebuilds the heap without its lazily-cancelled corpses
+// once they outnumber live entries. Timer-churny workloads (TCP rearms
+// the RTO on almost every ACK) otherwise grow the heap without bound:
+// each rearm leaves a corpse whose deadline may lie far in the future,
+// surviving every pop of the run. Compaction preserves the (at, seq)
+// order exactly, so execution order — and therefore determinism — is
+// unaffected.
+func (e *Engine) maybeCompact() {
+	if len(e.queue) < compactMin || len(e.queue)-e.live <= len(e.queue)/2 {
+		return
+	}
+	q := e.queue
+	kept := q[:0]
+	for _, ev := range q {
+		if ev.cancelled {
+			e.release(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	e.queue = kept
+	// Re-establish the heap invariant bottom-up (standard O(n) build).
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// eventLess orders the heap by timestamp, sequence-number tie-broken so
+// equal timestamps run FIFO.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *Event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.queue[i], e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// heapPopTop removes the root entry (callers read e.queue[0] first).
+func (e *Engine) heapPopTop() {
+	last := len(e.queue) - 1
+	e.queue[0] = e.queue[last]
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && eventLess(q[right], q[left]) {
+			min = right
+		}
+		if !eventLess(q[min], q[i]) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
 // Timer is a rearm-friendly wrapper over Schedule for the common TCP
 // pattern "reset the retransmission timer on every ACK". Reset cancels
-// any pending expiry and schedules a new one; Stop cancels.
+// any pending expiry and schedules a new one; Stop cancels. Both are
+// allocation-free in steady state: the engine recycles the underlying
+// events, and the timer's single stored callback means no closure is
+// ever created per (re)arm.
 type Timer struct {
 	eng *Engine
 	fn  func()
 	ev  *Event
+	gen uint64 // generation of ev at arm time; detects recycling
 }
 
 // NewTimer creates a stopped timer that will invoke fn when it expires.
@@ -258,22 +398,35 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
 }
 
+// armed reports whether the timer's event handle is still its own live
+// arm: present, not recycled into a different event, and pending.
+func (t *Timer) armed() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.Pending()
+}
+
 // Reset (re)arms the timer to fire after d.
 func (t *Timer) Reset(d Time) {
-	t.ev.Cancel()
+	if t.armed() {
+		t.ev.Cancel()
+	}
 	t.ev = t.eng.After(d, t.fn)
+	t.gen = t.ev.gen
 }
 
 // Stop cancels the pending expiry, if any.
-func (t *Timer) Stop() { t.ev.Cancel() }
+func (t *Timer) Stop() {
+	if t.armed() {
+		t.ev.Cancel()
+	}
+}
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev.Pending() }
+func (t *Timer) Pending() bool { return t.armed() }
 
 // Deadline returns the expiry time of an armed timer and true, or zero
 // and false for a stopped timer.
 func (t *Timer) Deadline() (Time, bool) {
-	if !t.ev.Pending() {
+	if !t.armed() {
 		return 0, false
 	}
 	return t.ev.At(), true

@@ -1,0 +1,65 @@
+package tcp
+
+import (
+	"testing"
+
+	"ccatscale/internal/cca"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// TestSenderTimerChurnZeroAlloc budgets the RTO/TLP/pacing timer paths
+// directly: with the engine's event pool primed, rearming any of the
+// sender's timers — the per-ACK pattern — must not allocate.
+func TestSenderTimerChurnZeroAlloc(t *testing.T) {
+	n := newTestNet(t, 20*units.MbitPerSec, 3*units.MB,
+		[]sim.Time{20 * sim.Millisecond}, []cca.CCA{cca.NewReno(units.MSS)})
+	s := n.senders[0]
+	// Prime the pool with a few arm/disarm cycles.
+	for i := 0; i < 64; i++ {
+		s.rtoTimer.Reset(s.rto())
+		s.paceTimer.Reset(sim.Millisecond)
+		s.tlpTimer.Reset(sim.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.rtoTimer.Reset(s.rto())
+		s.paceTimer.Reset(sim.Millisecond)
+		s.tlpTimer.Reset(sim.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("timer rearm allocates %.1f objects per cycle, want 0", allocs)
+	}
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	s.tlpTimer.Stop()
+}
+
+// TestSteadyStateFlowAllocBudget runs a real Reno flow over the
+// dumbbell past slow start, then meters allocations per simulated
+// 100 ms window. With pooled events, pooled deliveries, the reusable
+// port transmit event, and the pre-sized ring, the steady-state
+// per-window allocation count is near zero — the budget below is a
+// regression tripwire for reintroduced per-packet garbage.
+func TestSteadyStateFlowAllocBudget(t *testing.T) {
+	rate := 50 * units.MbitPerSec
+	n := newTestNet(t, rate, units.BDP(rate, 100*sim.Millisecond),
+		[]sim.Time{20 * sim.Millisecond}, []cca.CCA{cca.NewReno(units.MSS)})
+	n.start()
+	n.eng.Run(5 * sim.Second) // past slow start, pools primed
+
+	const window = 100 * sim.Millisecond
+	allocs := testing.AllocsPerRun(20, func() {
+		n.eng.Run(n.eng.Now() + window)
+	})
+	// ~430 data packets traverse the dumbbell per window at 50 Mbps.
+	// Budget far below one alloc per packet; generous enough to ignore
+	// amortized growth of long-lived buffers.
+	const budget = 32.0
+	if allocs > budget {
+		t.Fatalf("steady-state flow allocates %.1f objects per %v window (budget %.0f)",
+			allocs, window, budget)
+	}
+	if n.senders[0].Stats().DeliveredBytes == 0 {
+		t.Fatal("flow made no progress")
+	}
+}

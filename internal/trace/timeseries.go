@@ -29,6 +29,7 @@ type ThroughputSeries struct {
 
 	prev    []units.ByteCount
 	points  []SeriesPoint
+	rates   []units.Bandwidth // flat arena the points' Rates slices are cut from
 	stopped bool
 	started bool
 }
@@ -59,6 +60,23 @@ func (s *ThroughputSeries) Start(at sim.Time) {
 	s.eng.Schedule(at, s.tick)
 }
 
+// Preallocate sizes the retained-point buffers for a run ending at
+// horizon, so sampling never reallocates mid-run: the point slice and a
+// flat rate arena are sized from horizon/interval up front. Call before
+// Start; a no-op when points are not kept.
+func (s *ThroughputSeries) Preallocate(horizon sim.Time) {
+	if !s.keep || horizon <= 0 {
+		return
+	}
+	n := int(horizon/s.interval) + 2
+	if cap(s.points) < n {
+		s.points = make([]SeriesPoint, 0, n)
+	}
+	if width := len(s.names); width > 0 && cap(s.rates) < n*width {
+		s.rates = make([]units.Bandwidth, 0, n*width)
+	}
+}
+
 // Stop halts sampling.
 func (s *ThroughputSeries) Stop() { s.stopped = true }
 
@@ -83,7 +101,7 @@ func (s *ThroughputSeries) tick() {
 		s.eng.After(s.interval, s.tick)
 		return
 	}
-	pt := SeriesPoint{At: s.eng.Now(), Rates: make([]units.Bandwidth, len(cur))}
+	pt := SeriesPoint{At: s.eng.Now(), Rates: s.takeRates(len(cur))}
 	for i := range cur {
 		var delta units.ByteCount
 		if i < len(s.prev) {
@@ -105,4 +123,15 @@ func (s *ThroughputSeries) tick() {
 		fmt.Fprintln(s.w)
 	}
 	s.eng.After(s.interval, s.tick)
+}
+
+// takeRates cuts an n-wide rate slice from the preallocated arena, or
+// allocates one when the arena is exhausted (or was never sized).
+func (s *ThroughputSeries) takeRates(n int) []units.Bandwidth {
+	if cap(s.rates)-len(s.rates) < n {
+		return make([]units.Bandwidth, n)
+	}
+	start := len(s.rates)
+	s.rates = s.rates[: start+n : start+n]
+	return s.rates[start : start+n : start+n]
 }
