@@ -25,8 +25,10 @@
 package ccatscale
 
 import (
+	"context"
 	"time"
 
+	"ccatscale/internal/budget"
 	"ccatscale/internal/core"
 	"ccatscale/internal/mathis"
 	"ccatscale/internal/metrics"
@@ -93,6 +95,54 @@ func Run(cfg RunConfig) (RunResult, error) { return core.Run(cfg) }
 func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
 	return core.RunMany(cfgs, parallelism)
 }
+
+// Budget bounds one run's resource consumption: heap bytes, simulator
+// event footprint, retained trace points, wall clock, and virtual
+// horizon. Zero fields are unlimited. Set it on a RunConfig (or a
+// Setting) to enable admission control and in-flight enforcement.
+type Budget = budget.Budget
+
+// BudgetError is the structured breach report governance surfaces
+// instead of an OOM: which resource, at which stage (admission or
+// in-flight), the limit and the observed value — plus, for in-flight
+// breaches, a Checkpoint of the progress made.
+type BudgetError = budget.BudgetError
+
+// Checkpoint records a stopped run's progress (virtual time, events
+// processed, wall clock consumed).
+type Checkpoint = budget.Checkpoint
+
+// Usage records the resources a run (or merged sweep) actually
+// consumed; see RunResult.Usage.
+type Usage = budget.Usage
+
+// Footprint is the estimator's predicted cost of one configuration.
+type Footprint = budget.Footprint
+
+// SweepOptions configures RunManyCtx: parallelism, a shared Budget
+// applied to configs that carry none, and the reduced-fidelity retry
+// allowance for budget breaches.
+type SweepOptions = core.SweepOptions
+
+// RunManyCtx executes several runs concurrently under a context and
+// sweep-level resource governance: configurations whose estimated
+// footprint exceeds the budget are rejected with an admission-stage
+// BudgetError (degraded and retried up to Retries tiers first), runs
+// that breach in flight are retried at reduced fidelity with
+// deterministic backoff, and a cancelled context stops scheduling new
+// runs. Per-config errors are tagged with the config's index.
+func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunResult, error) {
+	return core.RunManyCtx(ctx, cfgs, opt)
+}
+
+// EstimateConfig predicts a configuration's resource footprint — the
+// same model RunManyCtx's admission control uses.
+func EstimateConfig(cfg RunConfig) Footprint { return core.EstimateConfig(cfg) }
+
+// DegradeTier returns cfg degraded to the given fidelity tier: a
+// coarser throughput series, a smaller drop-timestamp cap, and (from
+// tier 2) a shorter measurement window. Deterministic in (cfg, tier).
+func DegradeTier(cfg RunConfig, tier int) RunConfig { return core.DegradeTier(cfg, tier) }
 
 // UniformFlows builds n flows of one CCA at one base RTT.
 func UniformFlows(n int, cca string, rtt time.Duration) []FlowSpec {

@@ -4,6 +4,7 @@
 // EXPERIMENTS.md.
 //
 //	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE] [-audit strict]
+//	          [-mem-budget 512M] [-event-budget N] [-retries N]
 //
 // -quick shrinks windows and flow counts for a minutes-long smoke pass;
 // the default tier is EdgeScale plus CoreScale/N (1 Gbps at N=10).
@@ -15,6 +16,14 @@
 // <job>.failed.json when the failure is a core.RunError — and the
 // remaining jobs still run. A later invocation with -resume re-executes
 // only the jobs that have not completed.
+//
+// -mem-budget and -event-budget bound every run's footprint: a job the
+// estimator prices over budget is recorded as "rejected" (not failed —
+// the sweep still exits zero) and a later -resume retries it one
+// fidelity tier lower. -retries lets admission degrade a config in the
+// same invocation instead. Per-job peak resource usage is recorded in
+// manifest.json, and reduced-fidelity output is marked both there and
+// in the table itself.
 package main
 
 import (
@@ -28,9 +37,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"ccatscale/internal/budget"
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
@@ -63,6 +75,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	panicJob := fs.String("panicjob", "", "inject a mid-run panic into the named job (supervisor drill)")
 	wallLimit := fs.Duration("runwall", 0, "wall-clock limit per simulation run (0 = unlimited)")
 	auditPol := fs.String("audit", "", "invariant auditing for every run: off (default), warn, or strict")
+	memBudget := fs.String("mem-budget", "", "per-run heap budget, e.g. 512M or 2G (empty = unlimited)")
+	eventBudget := fs.Int64("event-budget", 0, "per-run event-object budget (0 = unlimited)")
+	retries := fs.Int("retries", 0, "reduced-fidelity retries for over-budget runs")
+	force := fs.Bool("force", false, "resume even when the manifest's job set no longer matches")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at sweep end to this file (go tool pprof)")
 	if err := fs.Parse(argv); err != nil {
@@ -120,14 +136,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "reproduce:", err)
 		return 1
 	}
-	if *resume && man != nil {
-		if err := man.compatible(*seed, *scale, *quick); err != nil {
-			fmt.Fprintln(stderr, "reproduce:", err)
-			return 1
+
+	var runBudget *budget.Budget
+	if *memBudget != "" || *eventBudget > 0 {
+		heapBytes := int64(0)
+		if *memBudget != "" {
+			heapBytes, err = parseByteSize(*memBudget)
+			if err != nil {
+				fmt.Fprintf(stderr, "reproduce: bad -mem-budget: %v\n", err)
+				return 2
+			}
 		}
-	}
-	if !*resume || man == nil {
-		man = newManifest(*seed, *scale, *quick)
+		runBudget = &budget.Budget{HeapBytes: heapBytes, Events: *eventBudget}
 	}
 
 	edge := core.EdgeScale()
@@ -141,6 +161,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	corePaper.WallLimit = *wallLimit
 	edge.Audit = *auditPol
 	corePaper.Audit = *auditPol
+	edge.Budget = runBudget
+	corePaper.Budget = runBudget
+	edge.Retries = *retries
+	corePaper.Retries = *retries
 
 	mathisTables := func(s core.Setting, label string) []job {
 		mk := func(view mathisView) func(core.Setting) (*report.Table, error) {
@@ -200,8 +224,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}},
 	)
 
+	hash := configHash(*seed, *scale, *quick, jobs)
+	if *resume && man != nil {
+		if err := man.compatible(*seed, *scale, *quick, hash); err != nil {
+			if !*force {
+				fmt.Fprintln(stderr, "reproduce:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "reproduce: -force: resuming anyway (%v)\n", err)
+			man.Version = manifestVersion
+			man.ConfigHash = hash
+		}
+	}
+	if !*resume || man == nil {
+		man = newManifest(*seed, *scale, *quick, hash)
+	}
+
 	injected := false
-	var failed []string
+	var failed, rejected []string
 	ran := 0
 	for _, j := range jobs {
 		if onlyRE != nil && !onlyRE.MatchString(j.name) {
@@ -210,6 +250,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if *resume && man.done(*out, j.name) {
 			fmt.Fprintf(stdout, "%-24s %8s  (already done, skipped)\n", j.name, "resume")
 			continue
+		}
+		if *resume {
+			// A rejected job resumes one fidelity tier lower: less
+			// retained state, a shorter window from tier 2 — the
+			// degraded estimate may now fit the same budget.
+			if prev, ok := man.Jobs[j.name]; ok && prev.Status == "rejected" {
+				j.setting.Fidelity = prev.Fidelity + 1
+				fmt.Fprintf(stdout, "%-24s retrying at reduced fidelity tier %d\n",
+					j.name, j.setting.Fidelity)
+			}
 		}
 		if *panicJob == j.name {
 			// Fire inside the warm-up of every run of this job: early
@@ -220,14 +270,45 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		ran++
 		start := time.Now()
+		// Collect per-run resource usage for the job's manifest record.
+		var usageMu sync.Mutex
+		var jobUsage budget.Usage
+		core.SetUsageSink(func(u budget.Usage) {
+			usageMu.Lock()
+			jobUsage.Merge(u)
+			usageMu.Unlock()
+		})
 		tab, err := runJob(j)
+		core.SetUsageSink(nil)
 		fileName := j.name + ".txt"
 		if err == nil {
-			err = writeTable(filepath.Join(*out, fileName), tab, *seed, start)
+			if jobUsage.Degraded() {
+				tab.AddNote("reduced fidelity: tier %d, series decimation %d× (budget governance)",
+					jobUsage.MaxFidelity, jobUsage.MaxDecimation)
+			}
+			err = writeTable(filepath.Join(*out, fileName), tab, *seed, start, jobUsage.Degraded())
 		}
 		wall := time.Since(start)
 		rec := &jobRecord{Wall: wall.Round(time.Millisecond).String()}
-		if err != nil {
+		if jobUsage.Runs > 0 {
+			u := jobUsage
+			rec.Usage = &u
+			rec.Degraded = u.Degraded()
+			rec.Fidelity = u.MaxFidelity
+		}
+		var be *budget.BudgetError
+		switch {
+		case err != nil && errors.As(err, &be) && be.Stage == budget.StageAdmission:
+			// Admission control refused the job's predicted footprint:
+			// nothing ran, siblings continue, and the sweep still exits
+			// zero — a rejection is governance working, not a failure.
+			rec.Status = "rejected"
+			rec.Error = err.Error()
+			rec.Fidelity = j.setting.Fidelity
+			rejected = append(rejected, j.name)
+			fmt.Fprintf(stdout, "%-24s %8s  REJECTED (over budget): %v\n",
+				j.name, wall.Round(time.Second), be)
+		case err != nil:
 			rec.Status = "failed"
 			rec.Error = err.Error()
 			var re *core.RunError
@@ -242,11 +323,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			failed = append(failed, j.name)
 			fmt.Fprintf(stderr, "reproduce: %-24s FAILED after %s: %v\n",
 				j.name, wall.Round(time.Second), err)
-		} else {
+		default:
 			rec.Status = "done"
 			rec.File = fileName
-			fmt.Fprintf(stdout, "%-24s %8s  → %s\n",
-				j.name, wall.Round(time.Second), filepath.Join(*out, fileName))
+			marker := ""
+			if rec.Degraded {
+				marker = "  (degraded)"
+			}
+			fmt.Fprintf(stdout, "%-24s %8s  → %s%s\n",
+				j.name, wall.Round(time.Second), filepath.Join(*out, fileName), marker)
 		}
 		man.Jobs[j.name] = rec
 		if err := man.save(*out); err != nil {
@@ -259,6 +344,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "reproduce: -panicjob %q matched no job that ran\n", *panicJob)
 		return 2
 	}
+	if len(rejected) > 0 {
+		fmt.Fprintf(stdout, "reproduce: %d of %d jobs rejected over budget: %s\n",
+			len(rejected), ran, strings.Join(rejected, ", "))
+		fmt.Fprintf(stdout, "reproduce: rerun with -out %s -resume to retry them at reduced fidelity\n", *out)
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(stderr, "reproduce: %d of %d jobs failed: %s\n",
 			len(failed), ran, strings.Join(failed, ", "))
@@ -266,6 +356,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseByteSize parses "512M"-style sizes (K/M/G suffixes, powers of
+// 1024; a bare number is bytes).
+func parseByteSize(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, num = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, num = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, num = 1<<30, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("%q is not a positive size (use e.g. 512M, 2G)", s)
+	}
+	return v * mult, nil
 }
 
 // runJob executes one job with a panic net of its own. core.Run already
@@ -287,14 +399,19 @@ func runJob(j job) (tab *report.Table, err error) {
 
 // writeTable writes one result file, checking every step — a partially
 // written table is removed rather than left for -resume to trust.
-func writeTable(path string, tab *report.Table, seed uint64, start time.Time) error {
+func writeTable(path string, tab *report.Table, seed uint64, start time.Time, degraded bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	err = tab.WriteText(f)
 	if err == nil {
-		_, err = fmt.Fprintf(f, "\n[seed %d, wall %s]\n", seed, time.Since(start).Round(time.Millisecond))
+		marker := ""
+		if degraded {
+			marker = ", degraded"
+		}
+		_, err = fmt.Fprintf(f, "\n[seed %d, wall %s%s]\n", seed,
+			time.Since(start).Round(time.Millisecond), marker)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

@@ -3,12 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"ccatscale/internal/budget"
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
@@ -55,7 +58,7 @@ func TestMathisTableDeterministic(t *testing.T) {
 
 func TestManifestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	m := newManifest(7, 10, true)
+	m := newManifest(7, 10, true, "cafe")
 	m.Jobs["fig4_edge"] = &jobRecord{Status: "done", File: "fig4_edge.txt", Wall: "1s"}
 	m.Jobs["fig5_core"] = &jobRecord{Status: "failed", Error: "boom", FailureFile: "fig5_core.failed.json"}
 	if err := m.save(dir); err != nil {
@@ -68,7 +71,7 @@ func TestManifestRoundTrip(t *testing.T) {
 	if got == nil {
 		t.Fatal("saved manifest not found")
 	}
-	if got.Seed != 7 || got.Scale != 10 || !got.Quick {
+	if got.Seed != 7 || got.Scale != 10 || !got.Quick || got.ConfigHash != "cafe" {
 		t.Fatalf("parameters did not round-trip: %+v", got)
 	}
 	if rec := got.Jobs["fig5_core"]; rec == nil || rec.Status != "failed" || rec.Error != "boom" {
@@ -104,16 +107,56 @@ func TestManifestAbsent(t *testing.T) {
 }
 
 func TestManifestCompatible(t *testing.T) {
-	m := newManifest(7, 10, false)
-	if err := m.compatible(7, 10, false); err != nil {
+	m := newManifest(7, 10, false, "cafe")
+	if err := m.compatible(7, 10, false, "cafe"); err != nil {
 		t.Fatalf("matching params rejected: %v", err)
 	}
-	for _, tc := range []struct{ seed uint64; scale int; quick bool }{
+	for _, tc := range []struct {
+		seed  uint64
+		scale int
+		quick bool
+	}{
 		{8, 10, false}, {7, 20, false}, {7, 10, true},
 	} {
-		if err := m.compatible(tc.seed, tc.scale, tc.quick); err == nil {
+		if err := m.compatible(tc.seed, tc.scale, tc.quick, "cafe"); err == nil {
 			t.Fatalf("mismatched params %+v accepted", tc)
 		}
+	}
+	// A changed job set (same sweep parameters) is stale, not
+	// incompatible: the message steers to a fresh directory or -force.
+	err := m.compatible(7, 10, false, "beef")
+	if err == nil || !strings.Contains(err.Error(), "manifest is stale") {
+		t.Fatalf("stale hash error = %v, want 'manifest is stale'", err)
+	}
+}
+
+// TestConfigHashIgnoresGovernance: budget/retry/fidelity knobs steer how
+// an experiment executes, not what it measures — changing them between a
+// run and its resume must not invalidate the manifest.
+func TestConfigHashIgnoresGovernance(t *testing.T) {
+	s := testSetting()
+	jobs := []job{{name: "j", setting: s}}
+	base := configHash(7, 10, false, jobs)
+
+	s2 := s
+	s2.Budget = &budget.Budget{HeapBytes: 1 << 30}
+	s2.Retries = 3
+	s2.Fidelity = 2
+	s2.WallLimit = time.Minute
+	if h := configHash(7, 10, false, []job{{name: "j", setting: s2}}); h != base {
+		t.Fatal("governance knobs changed the config hash")
+	}
+
+	s3 := s
+	s3.Duration *= 2
+	if h := configHash(7, 10, false, []job{{name: "j", setting: s3}}); h == base {
+		t.Fatal("changed duration did not change the config hash")
+	}
+	if h := configHash(8, 10, false, jobs); h == base {
+		t.Fatal("changed seed did not change the config hash")
+	}
+	if h := configHash(7, 10, false, []job{{name: "k", setting: s}}); h == base {
+		t.Fatal("renamed job did not change the config hash")
 	}
 }
 
@@ -216,7 +259,7 @@ func TestRunIsolationAndResume(t *testing.T) {
 // tables from different seeds or scales in one output directory.
 func TestResumeRefusesMismatchedParams(t *testing.T) {
 	dir := t.TempDir()
-	m := newManifest(11, 50, true)
+	m := newManifest(11, 50, true, "cafe")
 	if err := m.save(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -231,6 +274,187 @@ func TestResumeRefusesMismatchedParams(t *testing.T) {
 	}
 }
 
+// quickEdge mirrors the -quick overrides run() applies to EdgeScale, so
+// the budget tests can price exactly the configs the sweep will submit.
+func quickEdge() core.Setting {
+	s := core.EdgeScale()
+	s.Warmup, s.Duration, s.Stagger = 5*sim.Second, 20*sim.Second, 2*sim.Second
+	return s
+}
+
+// mathisHeapEstimate prices one MathisSweep run of the setting at the
+// given fidelity tier, mirroring the sweep's config construction (the
+// drop-timestamp cap is the only knob it sets beyond the setting).
+func mathisHeapEstimate(s core.Setting, flows, tier int) int64 {
+	cfg := s.Config(core.UniformFlows(flows, "reno", core.DefaultRTT), 11)
+	cfg.MaxDropTimestamps = 1 << 20
+	if tier > 0 {
+		cfg = core.DegradeTier(cfg, tier)
+	}
+	return core.EstimateConfig(cfg).HeapBytes
+}
+
+// TestBudgetRejectionAndResume is the governance acceptance drill: under
+// a heap budget every table1_edge config is priced over, the job is
+// recorded as rejected — not failed, the sweep still exits zero — the
+// sibling job completes, and a -resume retries the rejected job one
+// fidelity tier lower, where it fits, runs, and is marked degraded.
+func TestBudgetRejectionAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	// Pick the budget just under the cheapest full-fidelity edge config,
+	// so admission rejects all of them without running anything — and
+	// verify tier 1 degradation brings the dearest one back under it.
+	edge := quickEdge()
+	min0, max1 := int64(0), int64(0)
+	for _, n := range edge.FlowCounts {
+		if e := mathisHeapEstimate(edge, n, 0); min0 == 0 || e < min0 {
+			min0 = e
+		}
+		if e := mathisHeapEstimate(edge, n, 1); e > max1 {
+			max1 = e
+		}
+	}
+	threshold := min0 - 128<<10
+	if max1 >= threshold {
+		t.Fatalf("estimator no longer separates tiers: tier1 max %d >= threshold %d", max1, threshold)
+	}
+
+	dir := t.TempDir()
+	base := []string{
+		"-out", dir, "-quick", "-scale", "100", "-seed", "11", "-parallel", "2",
+		"-only", "^(table1_edge|ext_churn_core)$",
+		"-mem-budget", fmt.Sprint(threshold),
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(base, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (rejection is governance, not failure)\nstdout:\n%s\nstderr:\n%s",
+			code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "REJECTED (over budget)") {
+		t.Fatalf("stdout missing rejection report:\n%s", &stdout)
+	}
+	if !strings.Contains(stdout.String(), "-resume to retry them at reduced fidelity") {
+		t.Fatalf("stdout missing resume hint:\n%s", &stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ext_churn_core.txt")); err != nil {
+		t.Fatalf("sibling job output missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1_edge.txt")); err == nil {
+		t.Fatal("rejected job left an output table")
+	}
+
+	m, err := loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after rejection: %v, %v", m, err)
+	}
+	if rec := m.Jobs["ext_churn_core"]; rec == nil || rec.Status != "done" {
+		t.Fatalf("sibling record: %+v", rec)
+	}
+	rec := m.Jobs["table1_edge"]
+	if rec == nil || rec.Status != "rejected" || rec.Fidelity != 0 {
+		t.Fatalf("rejected record: %+v", rec)
+	}
+	if !strings.Contains(rec.Error, string(budget.KindHeapBytes)) ||
+		!strings.Contains(rec.Error, budget.StageAdmission) {
+		t.Fatalf("rejection error not structured: %q", rec.Error)
+	}
+	// The raw manifest is greppable for rejections (the CI smoke relies
+	// on this).
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"status": "rejected"`) {
+		t.Fatalf("manifest JSON missing rejected status:\n%s", data)
+	}
+
+	// Resume: the rejected job retries one fidelity tier lower and fits.
+	runtime.GC() // settle test-process garbage under the in-flight heap check
+	stdout.Reset()
+	stderr.Reset()
+	code = run(append(base, "-resume"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("resume exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "retrying at reduced fidelity tier 1") {
+		t.Fatalf("resume did not announce the fidelity retry:\n%s", &stdout)
+	}
+	if !strings.Contains(stdout.String(), "(degraded)") {
+		t.Fatalf("resume did not mark the degraded result:\n%s", &stdout)
+	}
+	m, err = loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after resume: %v, %v", m, err)
+	}
+	rec = m.Jobs["table1_edge"]
+	if rec == nil || rec.Status != "done" || !rec.Degraded || rec.Fidelity != 1 {
+		t.Fatalf("resumed record: %+v", rec)
+	}
+	if rec.Usage == nil || rec.Usage.Runs != len(edge.FlowCounts) || rec.Usage.Events == 0 {
+		t.Fatalf("resumed record usage: %+v", rec.Usage)
+	}
+	table, err := os.ReadFile(filepath.Join(dir, "table1_edge.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(table), "note: reduced fidelity: tier 1") ||
+		!strings.Contains(string(table), ", degraded]") {
+		t.Fatalf("degraded table not marked:\n%s", table)
+	}
+}
+
+// TestResumeRefusesStaleJobSet: same sweep parameters, different job-set
+// hash — the experiment definitions changed under the output directory.
+func TestResumeRefusesStaleJobSet(t *testing.T) {
+	dir := t.TempDir()
+	m := newManifest(11, 50, true, "0000dead")
+	if err := m.save(dir); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-out", dir, "-resume", "-quick", "-scale", "50", "-seed", "11",
+		"-only", "^none$"}
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "manifest is stale") {
+		t.Fatalf("stderr missing staleness explanation:\n%s", &stderr)
+	}
+	// -force overrides the staleness check.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(append(args, "-force"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-force exit = %d\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "resuming anyway") {
+		t.Fatalf("stderr missing -force acknowledgement:\n%s", &stderr)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512}, {"4k", 4 << 10}, {"512M", 512 << 20}, {"2G", 2 << 30},
+	} {
+		got, err := parseByteSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("parseByteSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "0", "12parsecs", "G"} {
+		if _, err := parseByteSize(bad); err == nil {
+			t.Fatalf("parseByteSize(%q) accepted", bad)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-only", "("}, &stdout, &stderr); code != 2 {
@@ -239,6 +463,10 @@ func TestBadFlags(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-out", t.TempDir(), "-mem-budget", "12parsecs"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -mem-budget exit = %d, want 2\nstderr:\n%s", code, &stderr)
 	}
 	// -panicjob that matches nothing is a usage error, not a silent
 	// no-op drill.
@@ -258,7 +486,7 @@ func TestWriteTableChecksErrors(t *testing.T) {
 	tab.AddRow(1, 2)
 	// Happy path writes the footer and closes cleanly.
 	path := filepath.Join(dir, "ok.txt")
-	if err := writeTable(path, tab, 7, time.Now()); err != nil {
+	if err := writeTable(path, tab, 7, time.Now(), false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -268,8 +496,23 @@ func TestWriteTableChecksErrors(t *testing.T) {
 	if !strings.Contains(string(data), "[seed 7, wall ") {
 		t.Fatalf("footer missing:\n%s", data)
 	}
+	if strings.Contains(string(data), "degraded") {
+		t.Fatalf("full-fidelity table carries a degraded marker:\n%s", data)
+	}
+	// A degraded table says so in its footer.
+	dpath := filepath.Join(dir, "degraded.txt")
+	if err := writeTable(dpath, tab, 7, time.Now(), true); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(dpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ", degraded]") {
+		t.Fatalf("degraded footer missing:\n%s", data)
+	}
 	// Unwritable path fails loudly instead of being dropped.
-	if err := writeTable(filepath.Join(dir, "no/such/dir/x.txt"), tab, 7, time.Now()); err == nil {
+	if err := writeTable(filepath.Join(dir, "no/such/dir/x.txt"), tab, 7, time.Now(), false); err == nil {
 		t.Fatal("writeTable to missing directory succeeded")
 	}
 }

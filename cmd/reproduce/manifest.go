@@ -1,10 +1,14 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/core"
 )
 
 // manifestFile is the checkpoint the sweep keeps in its output
@@ -12,39 +16,58 @@ import (
 // it to skip finished tables and re-execute only the rest.
 const manifestFile = "manifest.json"
 
+// manifestVersion is bumped when the record's meaning changes; version
+// 2 added ConfigHash and per-job resource usage.
+const manifestVersion = 2
+
 // manifest records a sweep's parameters and per-job outcomes. The
 // parameters are part of the record because resuming under a different
 // seed or scale would silently mix incompatible tables.
 type manifest struct {
-	Version int             `json:"version"`
-	Seed    uint64          `json:"seed"`
-	Scale   int             `json:"scale"`
-	Quick   bool            `json:"quick"`
-	Jobs    map[string]*jobRecord `json:"jobs"`
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+	Scale   int    `json:"scale"`
+	Quick   bool   `json:"quick"`
+	// ConfigHash fingerprints the experiment-defining job list (names
+	// and settings, with governance knobs zeroed). -resume refuses a
+	// manifest whose hash no longer matches the jobs this binary would
+	// run — the job set changed under it — unless -force overrides.
+	ConfigHash string                `json:"configHash,omitempty"`
+	Jobs       map[string]*jobRecord `json:"jobs"`
 }
 
 // jobRecord is one job's outcome.
 type jobRecord struct {
-	// Status is "done" or "failed".
+	// Status is "done", "failed", or "rejected" (admission control
+	// refused the job's footprint; nothing ran, -resume retries it one
+	// fidelity tier lower).
 	Status string `json:"status"`
 	// File is the output table, relative to the output directory.
 	File string `json:"file,omitempty"`
 	// Wall is the job's wall-clock duration.
 	Wall string `json:"wall,omitempty"`
-	// Error holds the failure summary for failed jobs.
+	// Error holds the failure summary for failed and rejected jobs.
 	Error string `json:"error,omitempty"`
 	// FailureFile points at the serialized RunError (replayable via
 	// `ccatscale replay -in`), relative to the output directory.
 	FailureFile string `json:"failureFile,omitempty"`
+	// Usage aggregates the resources the job's runs actually consumed.
+	Usage *budget.Usage `json:"usage,omitempty"`
+	// Degraded marks a job whose output is reduced-fidelity (a
+	// degradation tier ran, or a series was decimated).
+	Degraded bool `json:"degraded,omitempty"`
+	// Fidelity is the degradation tier the job ran (or was rejected) at.
+	Fidelity int `json:"fidelity,omitempty"`
 }
 
-func newManifest(seed uint64, scale int, quick bool) *manifest {
+func newManifest(seed uint64, scale int, quick bool, configHash string) *manifest {
 	return &manifest{
-		Version: 1,
-		Seed:    seed,
-		Scale:   scale,
-		Quick:   quick,
-		Jobs:    map[string]*jobRecord{},
+		Version:    manifestVersion,
+		Seed:       seed,
+		Scale:      scale,
+		Quick:      quick,
+		ConfigHash: configHash,
+		Jobs:       map[string]*jobRecord{},
 	}
 }
 
@@ -70,12 +93,18 @@ func loadManifest(dir string) (*manifest, error) {
 
 // compatible reports whether a resume under the given parameters can
 // reuse this manifest's completed jobs.
-func (m *manifest) compatible(seed uint64, scale int, quick bool) error {
+func (m *manifest) compatible(seed uint64, scale int, quick bool, configHash string) error {
 	if m.Seed != seed || m.Scale != scale || m.Quick != quick {
 		return fmt.Errorf("manifest was written by -seed %d -scale %d -quick=%v; "+
 			"resuming with -seed %d -scale %d -quick=%v would mix incompatible tables "+
 			"(use a fresh -out directory or matching flags)",
 			m.Seed, m.Scale, m.Quick, seed, scale, quick)
+	}
+	if m.ConfigHash != configHash {
+		return fmt.Errorf("manifest is stale: its job set (hash %.12s) does not match "+
+			"this binary's (hash %.12s) — the experiment definitions changed; "+
+			"rerun into a fresh -out directory or pass -force to resume anyway",
+			m.ConfigHash, configHash)
 	}
 	return nil
 }
@@ -112,4 +141,36 @@ func (m *manifest) save(dir string) error {
 		return cerr
 	}
 	return os.Rename(tmp.Name(), filepath.Join(dir, manifestFile))
+}
+
+// configHash fingerprints the experiment the job list defines: names
+// plus each job's setting with the governance knobs (budget, retries,
+// wall limit, fidelity) zeroed, so changing -mem-budget or -retries
+// between a run and its resume does not read as a different experiment,
+// while changing seeds, scales, windows, or the job set itself does.
+func configHash(seed uint64, scale int, quick bool, jobs []job) string {
+	type hashJob struct {
+		Name    string
+		Setting core.Setting
+	}
+	hj := make([]hashJob, len(jobs))
+	for i, j := range jobs {
+		s := j.setting
+		s.Budget = nil
+		s.Retries = 0
+		s.Fidelity = 0
+		s.WallLimit = 0
+		hj[i] = hashJob{Name: j.name, Setting: s}
+	}
+	data, err := json.Marshal(struct {
+		Seed  uint64
+		Scale int
+		Quick bool
+		Jobs  []hashJob
+	}{seed, scale, quick, hj})
+	if err != nil {
+		// Settings are plain data; marshal cannot fail. Guard anyway.
+		return fmt.Sprintf("unhashable: %v", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
 }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// budgetTestConfig is a small run that drops packets early (tiny
+// buffer), so every budget knob has something to catch.
+func budgetTestConfig() RunConfig {
+	return RunConfig{
+		Rate:     50 * units.MbitPerSec,
+		Buffer:   20 * units.KB,
+		Flows:    UniformFlows(4, "reno", 20*sim.Millisecond),
+		Warmup:   sim.Second,
+		Duration: 5 * sim.Second,
+		Stagger:  100 * sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+// TestBudgetBreachPerKind drives one oversized run under each budget
+// knob and asserts the structured failure: a *RunError wrapping a
+// *budget.BudgetError with the right kind, limit < observed, and a
+// checkpoint exactly when enforcement was in-flight.
+func TestBudgetBreachPerKind(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget budget.Budget
+		kind   budget.Kind
+		stage  string
+	}{
+		{"heap", budget.Budget{HeapBytes: 1}, budget.KindHeapBytes, budget.StageInFlight},
+		{"events", budget.Budget{Events: 1}, budget.KindEvents, budget.StageInFlight},
+		{"trace", budget.Budget{TracePoints: 1}, budget.KindTracePoints, budget.StageInFlight},
+		{"wall", budget.Budget{Wall: time.Nanosecond}, budget.KindWallClock, budget.StageInFlight},
+		{"horizon", budget.Budget{Horizon: sim.Second}, budget.KindHorizon, budget.StageAdmission},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := budgetTestConfig()
+			cfg.Budget = &tc.budget
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("run under a tiny budget succeeded")
+			}
+			var re *RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("error is not a *RunError: %v", err)
+			}
+			if re.Reason != "budget breach" {
+				t.Fatalf("reason = %q, want \"budget breach\"", re.Reason)
+			}
+			var be *budget.BudgetError
+			if !errors.As(err, &be) {
+				t.Fatalf("error does not unwrap to *budget.BudgetError: %v", err)
+			}
+			if be.Kind != tc.kind {
+				t.Fatalf("kind = %q, want %q", be.Kind, tc.kind)
+			}
+			if be.Stage != tc.stage {
+				t.Fatalf("stage = %q, want %q", be.Stage, tc.stage)
+			}
+			if be.Observed <= be.Limit {
+				t.Fatalf("observed %d not above limit %d", be.Observed, be.Limit)
+			}
+			if tc.stage == budget.StageInFlight && be.Checkpoint == nil {
+				t.Fatal("in-flight breach carries no checkpoint")
+			}
+			if tc.stage == budget.StageAdmission && be.Checkpoint != nil {
+				t.Fatal("admission breach carries a checkpoint")
+			}
+			// The failure must be replayable: the config snapshot holds
+			// the budget that caused it.
+			if re.Config.Budget == nil {
+				t.Fatal("RunError.Config lost the budget")
+			}
+		})
+	}
+}
+
+// TestTraceBudgetOnlyDropLogBreaches: an unbounded drop log breaches a
+// small trace budget; the same budget with a bounded log (below the
+// cap) completes because the series decimates instead of growing.
+func TestTraceBudgetDegradesSeries(t *testing.T) {
+	cfg := budgetTestConfig()
+	cfg.MaxDropTimestamps = 100
+	cfg.SeriesInterval = 10 * sim.Millisecond // 600 raw samples over 6s
+	cfg.Budget = &budget.Budget{TracePoints: 200}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("budgeted run failed: %v", err)
+	}
+	if res.Usage.MaxDecimation <= 1 {
+		t.Fatalf("decimation = %d, want > 1 (series must have degraded)", res.Usage.MaxDecimation)
+	}
+	if !res.Usage.Degraded() {
+		t.Fatal("usage does not report degradation")
+	}
+	if res.Usage.TracePoints > 200+int64(cfg.MaxDropTimestamps) {
+		t.Fatalf("retained %d trace points under a 200-point series share", res.Usage.TracePoints)
+	}
+}
+
+// TestRunManyCtxAdmission: a sweep with one impossible config completes
+// the others and reports the rejection as a structured admission error.
+func TestRunManyCtxAdmission(t *testing.T) {
+	small := budgetTestConfig()
+	huge := CoreScale().Config(UniformFlows(5000, "reno", 200*sim.Millisecond), 1)
+	results, err := RunManyCtx(context.Background(), []RunConfig{huge, small},
+		SweepOptions{Parallelism: 2, Budget: &budget.Budget{HeapBytes: 256 << 20}})
+	if err == nil {
+		t.Fatal("sweep with an over-budget config returned nil error")
+	}
+	var be *budget.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("sweep error does not unwrap to *budget.BudgetError: %v", err)
+	}
+	if be.Stage != budget.StageAdmission || be.Kind != budget.KindHeapBytes {
+		t.Fatalf("breach = %s/%s, want admission/heap-bytes", be.Stage, be.Kind)
+	}
+	if results[0].Events != 0 {
+		t.Fatal("rejected config ran anyway")
+	}
+	if results[1].AggregateGoodput <= 0 {
+		t.Fatal("sibling config did not complete")
+	}
+}
+
+// TestRunManyCtxCancel: a pre-cancelled context skips every queued
+// config, tagging each with its index and ctx.Err().
+func TestRunManyCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []RunConfig{budgetTestConfig(), budgetTestConfig()}
+	results, err := RunManyCtx(ctx, cfgs, SweepOptions{Parallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	for i, r := range results {
+		if r.Events != 0 {
+			t.Fatalf("config %d ran despite cancelled context", i)
+		}
+	}
+}
+
+// TestRetryDegradesToFit: a horizon budget the full-fidelity config
+// exceeds is satisfied two degradation tiers down (tier 2 halves the
+// measurement window), so a sweep with retries recovers a result where
+// a single attempt fails — and the result is marked degraded.
+func TestRetryDegradesToFit(t *testing.T) {
+	cfg := budgetTestConfig() // horizon 6s
+	cfg.Budget = &budget.Budget{Horizon: 4 * sim.Second}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("full-fidelity run fit a horizon it must exceed")
+	}
+	if _, err := RunManyCtx(context.Background(), []RunConfig{cfg},
+		SweepOptions{Parallelism: 1}); err == nil {
+		t.Fatal("sweep without retries admitted an over-horizon config")
+	}
+	results, err := RunManyCtx(context.Background(), []RunConfig{cfg},
+		SweepOptions{Parallelism: 1, Retries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("sweep with retries failed: %v", err)
+	}
+	res := results[0]
+	if res.Usage.MaxFidelity != 2 {
+		t.Fatalf("fidelity = %d, want 2", res.Usage.MaxFidelity)
+	}
+	if !res.Usage.Degraded() {
+		t.Fatal("degraded result not marked")
+	}
+	if got := res.Config.Warmup + res.Config.Duration; got > 4*sim.Second {
+		t.Fatalf("degraded horizon %v still above budget", got)
+	}
+	if res.AggregateGoodput <= 0 {
+		t.Fatal("degraded run produced no goodput")
+	}
+}
+
+// TestBudgetFreeDeterminism: a run under a generous budget is virtually
+// identical to a budget-free run — enforcement only observes. Wall
+// clock and usage differ; every simulation-derived field must not.
+func TestBudgetFreeDeterminism(t *testing.T) {
+	cfg := budgetTestConfig()
+	cfg.SeriesInterval = 100 * sim.Millisecond
+	free, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Budget = &budget.Budget{
+		HeapBytes:   1 << 40,
+		Events:      1 << 40,
+		TracePoints: 1 << 40,
+		Wall:        time.Hour,
+		Horizon:     3600 * sim.Second,
+	}
+	budgeted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Events != budgeted.Events {
+		t.Fatalf("events differ: %d vs %d", free.Events, budgeted.Events)
+	}
+	if !reflect.DeepEqual(free.Flows, budgeted.Flows) {
+		t.Fatal("per-flow results differ under a generous budget")
+	}
+	if !reflect.DeepEqual(free.Series, budgeted.Series) {
+		t.Fatal("series differ under a generous budget")
+	}
+	if free.AggregateGoodput != budgeted.AggregateGoodput ||
+		free.TotalDrops != budgeted.TotalDrops ||
+		free.DropBurstiness != budgeted.DropBurstiness {
+		t.Fatal("aggregate metrics differ under a generous budget")
+	}
+}
+
+// TestDegradeTierLadder pins the deterministic degradation schedule.
+func TestDegradeTierLadder(t *testing.T) {
+	cfg := budgetTestConfig()
+	cfg.SeriesInterval = 100 * sim.Millisecond
+
+	t1 := DegradeTier(cfg, 1)
+	if t1.Fidelity != 1 {
+		t.Fatalf("fidelity = %d, want 1", t1.Fidelity)
+	}
+	if t1.SeriesInterval != 200*sim.Millisecond {
+		t.Fatalf("tier 1 interval = %v, want doubled", t1.SeriesInterval)
+	}
+	if t1.MaxDropTimestamps != DefaultDropTimestampCap/2 {
+		t.Fatalf("tier 1 drop cap = %d, want %d", t1.MaxDropTimestamps, DefaultDropTimestampCap/2)
+	}
+	if t1.Duration != cfg.Duration {
+		t.Fatal("tier 1 must not shrink the measurement window")
+	}
+
+	t2 := DegradeTier(t1, 2)
+	if t2.Duration != cfg.Duration/2 {
+		t.Fatalf("tier 2 duration = %v, want halved", t2.Duration)
+	}
+	// Stepwise and direct degradation agree.
+	if direct := DegradeTier(cfg, 2); !reflect.DeepEqual(direct, t2) {
+		t.Fatalf("DegradeTier(cfg,2) = %+v, stepwise = %+v", direct, t2)
+	}
+	// Degrading to a lower tier is a no-op.
+	if back := DegradeTier(t2, 1); !reflect.DeepEqual(back, t2) {
+		t.Fatal("degrading to a lower tier changed the config")
+	}
+	// The floor holds under deep degradation.
+	deep := DegradeTier(cfg, 12)
+	if deep.MaxDropTimestamps < minDropTimestampCap {
+		t.Fatalf("drop cap %d below floor", deep.MaxDropTimestamps)
+	}
+	if deep.Duration < minDegradedDuration {
+		t.Fatalf("duration %v below floor", deep.Duration)
+	}
+}
+
+// TestEstimateConfigScales: the estimator must separate the paper's
+// regimes by an order of magnitude — that is all admission needs.
+func TestEstimateConfigScales(t *testing.T) {
+	edge := EdgeScale().Config(UniformFlows(50, "reno", 20*sim.Millisecond), 1)
+	c := CoreScale()
+	coreCfg := c.Config(UniformFlows(5000, "reno", 200*sim.Millisecond), 1)
+	fe, fc := EstimateConfig(edge), EstimateConfig(coreCfg)
+	if fc.HeapBytes < 4*fe.HeapBytes {
+		t.Fatalf("CoreScale heap %d not well above EdgeScale %d", fc.HeapBytes, fe.HeapBytes)
+	}
+	if fc.Processed < 4*fe.Processed {
+		t.Fatalf("CoreScale events %d not well above EdgeScale %d", fc.Processed, fe.Processed)
+	}
+	if fe.HeapBytes <= 0 || fe.Wall <= 0 {
+		t.Fatal("estimate returned non-positive cost")
+	}
+}

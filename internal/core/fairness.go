@@ -36,7 +36,7 @@ func IntraCCASweep(s Setting, ccaName string, rtts []sim.Time, seed uint64, para
 			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
 		}
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func InterCCASweep(s Setting, mode InterCCAMode, ccaA, ccaB string, rtts []sim.T
 			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
 		}
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}

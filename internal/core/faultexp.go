@@ -67,7 +67,7 @@ func BurstLossSweep(s Setting, seed uint64, parallelism int) ([]BurstRow, error)
 		cfg.BurstLoss = &BurstLossSpec{MeanLoss: BurstMeanLoss, MeanBurstLen: blen}
 		cfgs[i] = cfg
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func OutageSweep(s Setting, seed uint64, parallelism int) ([]OutageRow, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -93,10 +93,14 @@ func MathisSweep(s Setting, seed uint64, parallelism int) ([]MathisRow, error) {
 	cfgs := make([]RunConfig, len(s.FlowCounts))
 	for i, n := range s.FlowCounts {
 		cfg := s.Config(UniformFlows(n, "reno", DefaultRTT), seed+uint64(i))
-		cfg.MaxDropTimestamps = 1 << 20
+		// Cap drop retention for the burstiness analysis — unless the
+		// setting's fidelity tier already degraded the cap below this.
+		if cfg.MaxDropTimestamps == 0 {
+			cfg.MaxDropTimestamps = DefaultDropTimestampCap
+		}
 		cfgs[i] = cfg
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}

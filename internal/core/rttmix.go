@@ -83,7 +83,7 @@ func RTTMixSweep(s Setting, ccaName string, short, long sim.Time, seed uint64, p
 	for i, n := range s.FlowCounts {
 		cfgs[i] = s.Config(RTTMixFlows(n, ccaName, short, long), seed+uint64(i))
 	}
-	results, err := RunMany(cfgs, parallelism)
+	results, err := s.runMany(cfgs, parallelism)
 	if err != nil {
 		return nil, err
 	}

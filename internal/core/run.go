@@ -8,14 +8,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
-	"sync"
 	"time"
 
 	"ccatscale/internal/audit"
+	"ccatscale/internal/budget"
 	"ccatscale/internal/cca"
 	"ccatscale/internal/metrics"
 	"ccatscale/internal/netem"
@@ -114,6 +114,16 @@ type RunConfig struct {
 	// bug the conservation ledger must catch. It requires a non-off
 	// Audit policy and exists to drill the auditor end to end.
 	AuditDrillAt sim.Time
+	// Budget bounds the run's resource consumption (nil = unlimited).
+	// Breaches stop the run via the engine's interrupt hook and surface
+	// as a *RunError whose Budget field carries the structured breach
+	// and a checkpoint of what completed. A nil Budget leaves the run's
+	// hot path exactly as it was: budget-free runs stay bit-identical.
+	Budget *budget.Budget
+	// Fidelity is the degradation tier this config runs at (0 = full
+	// fidelity). It is set by DegradeTier, never by hand, and is carried
+	// into RunResult.Usage so reduced-fidelity results are marked.
+	Fidelity int
 }
 
 func (c *RunConfig) withDefaults() RunConfig {
@@ -273,6 +283,12 @@ type RunResult struct {
 	// SeriesInterval was configured.
 	SeriesNames []string
 	Series      []trace.SeriesPoint
+
+	// Usage records the resources the run actually consumed — the
+	// observability side of budget governance, and the ground truth the
+	// footprint estimator is calibrated against. Always populated;
+	// PeakHeapBytes stays 0 unless a heap budget enabled sampling.
+	Usage budget.Usage
 }
 
 // flowSnap captures the per-flow counters at the warm-up boundary.
@@ -299,6 +315,21 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		return RunResult{}, err
 	}
 	cfg = cfg.withDefaults()
+
+	// The horizon cap is decidable before anything runs, so it rejects at
+	// admission even when Run is called directly (not through RunManyCtx).
+	if b := cfg.Budget; !b.Unlimited() && b.Horizon > 0 && cfg.Warmup+cfg.Duration > b.Horizon {
+		return RunResult{}, &RunError{
+			Reason: "budget breach",
+			Seed:   cfg.Seed,
+			Config: cfg,
+			Budget: &budget.BudgetError{
+				Kind: budget.KindHorizon, Stage: budget.StageAdmission,
+				Limit: int64(b.Horizon), Observed: int64(cfg.Warmup + cfg.Duration),
+				Detail: "virtual end time (warm-up + duration)",
+			},
+		}
+	}
 
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
@@ -339,36 +370,6 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		}
 	}()
 
-	// Watchdogs: a wall-clock budget and a virtual-time progress guard,
-	// checked from the engine's interrupt hook so a stalled or runaway
-	// run ends via Engine.Stop instead of hanging forever.
-	var watchdogReason string
-	if cfg.WallLimit > 0 || cfg.StallEvents > 0 {
-		const wallCheckEvery = 1 << 13
-		every := uint64(wallCheckEvery)
-		if cfg.StallEvents > 0 && cfg.StallEvents < every {
-			every = cfg.StallEvents
-		}
-		lastNow := sim.Time(-1)
-		var lastAdvance uint64
-		eng.SetInterrupt(every, func() {
-			if cfg.WallLimit > 0 && time.Since(wallStart) > cfg.WallLimit {
-				watchdogReason = fmt.Sprintf("wall-clock limit exceeded (%v)", cfg.WallLimit)
-				eng.Stop()
-				return
-			}
-			if cfg.StallEvents > 0 {
-				if eng.Now() > lastNow {
-					lastNow = eng.Now()
-					lastAdvance = eng.Processed()
-				} else if eng.Processed()-lastAdvance >= cfg.StallEvents {
-					watchdogReason = fmt.Sprintf("virtual-time stall (%d events at %v)",
-						eng.Processed()-lastAdvance, eng.Now())
-					eng.Stop()
-				}
-			}
-		})
-	}
 	if cfg.FaultPanicAt > 0 {
 		eng.Schedule(cfg.FaultPanicAt, func() {
 			panic(fmt.Sprintf("core: injected fault at %v (FaultPanicAt)", cfg.FaultPanicAt))
@@ -505,6 +506,19 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 				return sample
 			}, true, nil)
 		series.Preallocate(cfg.Warmup + cfg.Duration)
+		// Under a trace-point budget the series degrades gracefully
+		// instead of breaching: its share of the cap — what remains
+		// after reserving the bounded drop log — triggers adaptive
+		// decimation, and the factor is reported in Usage.MaxDecimation.
+		// An unbounded drop log reserves nothing; if drops alone exceed
+		// the budget, the in-flight check correctly breaches.
+		if b := cfg.Budget; !b.Unlimited() && b.TracePoints > 0 {
+			maxPts := (int(b.TracePoints) - cfg.MaxDropTimestamps) / max(len(seriesNames), 1)
+			if maxPts < 4 {
+				maxPts = 4
+			}
+			series.SetMaxPoints(maxPts)
+		}
 		series.Start(0)
 	}
 
@@ -549,6 +563,104 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		eng.Schedule(cfg.Warmup+cfg.Converge, check)
 	}
 
+	// Watchdogs and budget enforcement share the engine's interrupt hook:
+	// a wall-clock limit, a virtual-time progress guard, and — when a
+	// budget is set — periodic in-flight resource checks that convert
+	// breaches into replayable errors carrying a checkpoint. The hook is
+	// installed only when something is configured, so an unbudgeted,
+	// unguarded run keeps an untouched hot path.
+	bud := cfg.Budget
+	var watchdogReason string
+	var breach *budget.BudgetError
+	var peakEventCap int
+	var peakHeap int64
+	if cfg.WallLimit > 0 || cfg.StallEvents > 0 || !bud.Unlimited() {
+		const wallCheckEvery = 1 << 13
+		every := uint64(wallCheckEvery)
+		if cfg.StallEvents > 0 && cfg.StallEvents < every {
+			every = cfg.StallEvents
+		}
+		lastNow := sim.Time(-1)
+		var lastAdvance uint64
+		var ticks uint64
+		var mem runtime.MemStats
+		stopBudget := func(kind budget.Kind, limit, observed int64, detail string) {
+			watchdogReason = "budget breach"
+			breach = &budget.BudgetError{
+				Kind: kind, Stage: budget.StageInFlight,
+				Limit: limit, Observed: observed, Detail: detail,
+				Checkpoint: &budget.Checkpoint{
+					VirtualTime: eng.Now(),
+					Events:      eng.Processed(),
+					Wall:        time.Since(wallStart),
+				},
+			}
+			eng.Stop()
+		}
+		eng.SetInterrupt(every, func() {
+			if watchdogReason != "" {
+				return
+			}
+			if cfg.WallLimit > 0 && time.Since(wallStart) > cfg.WallLimit {
+				watchdogReason = fmt.Sprintf("wall-clock limit exceeded (%v)", cfg.WallLimit)
+				eng.Stop()
+				return
+			}
+			if cfg.StallEvents > 0 {
+				if eng.Now() > lastNow {
+					lastNow = eng.Now()
+					lastAdvance = eng.Processed()
+				} else if eng.Processed()-lastAdvance >= cfg.StallEvents {
+					watchdogReason = fmt.Sprintf("virtual-time stall (%d events at %v)",
+						eng.Processed()-lastAdvance, eng.Now())
+					eng.Stop()
+					return
+				}
+			}
+			if bud.Unlimited() {
+				return
+			}
+			ticks++
+			if c := eng.Cap(); c > peakEventCap {
+				peakEventCap = c
+			}
+			if bud.Events > 0 && int64(eng.Cap()) > bud.Events {
+				stopBudget(budget.KindEvents, bud.Events, int64(eng.Cap()),
+					"live events + lazily-cancelled heap capacity")
+				return
+			}
+			if bud.Wall > 0 && time.Since(wallStart) > bud.Wall {
+				stopBudget(budget.KindWallClock, int64(bud.Wall), int64(time.Since(wallStart)), "")
+				return
+			}
+			if bud.TracePoints > 0 {
+				pts := int64(qlog.TimesLen())
+				if series != nil {
+					pts += int64(len(series.Points()) * len(seriesNames))
+				}
+				if pts > bud.TracePoints {
+					stopBudget(budget.KindTracePoints, bud.TracePoints, pts,
+						"retained series samples + drop timestamps")
+					return
+				}
+			}
+			// ReadMemStats stops the world, so the heap ceiling is
+			// sampled at a fraction of the interrupt cadence. The check
+			// is process-wide: under a parallel sweep it is a shared
+			// ceiling, and whichever run observes the breach stops first.
+			if bud.HeapBytes > 0 && ticks%16 == 1 {
+				runtime.ReadMemStats(&mem)
+				if h := int64(mem.HeapAlloc); h > peakHeap {
+					peakHeap = h
+				}
+				if int64(mem.HeapAlloc) > bud.HeapBytes {
+					stopBudget(budget.KindHeapBytes, bud.HeapBytes, int64(mem.HeapAlloc),
+						"sampled process heap (shared across parallel runs)")
+				}
+			}
+		})
+	}
+
 	stopAt := eng.Run(end)
 	if aud != nil && watchdogReason == "" {
 		checkEndToEnd(aud, injectedWire, arrivedWire, db, imp, ge, outg)
@@ -560,6 +672,7 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			VirtualTime: eng.Now(),
 			Events:      eng.Processed(),
 			Wall:        time.Since(wallStart),
+			Budget:      breach,
 			Config:      cfg,
 		}
 	}
@@ -593,6 +706,25 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		res.AuditViolations = aud.Total()
 		res.AuditViolationSample = aud.Violations()
 	}
+	res.Usage = budget.Usage{
+		Runs:          1,
+		Events:        eng.Processed(),
+		PeakEventCap:  int64(max(peakEventCap, eng.Cap())),
+		TracePoints:   int64(qlog.TimesLen()),
+		PeakHeapBytes: peakHeap,
+		Wall:          time.Since(wallStart),
+		MaxFidelity:   cfg.Fidelity,
+		MaxDecimation: 1,
+	}
+	if series != nil {
+		res.Usage.TracePoints += int64(len(series.Points()) * len(seriesNames))
+		res.Usage.MaxDecimation = series.Decimation()
+	}
+	if st, ok := db.Port().Queue().(netem.OccupancyStats); ok {
+		res.Usage.PeakQueueBytes = int64(st.MaxBytes())
+		res.Usage.PeakQueuePackets = int64(st.MaxLen())
+	}
+	reportUsage(res.Usage)
 	return res, nil
 }
 
@@ -694,42 +826,6 @@ func (r RunResult) ShareByCCA() map[string]float64 {
 		totals[k] /= sum
 	}
 	return totals
-}
-
-// RunMany executes several runs concurrently (each run is internally
-// single-threaded and deterministic) and returns results in input
-// order.
-//
-// Failures do not discard completed work: the returned slice always has
-// one entry per config, holding the result for every run that
-// succeeded (and the zero RunResult where one failed), and the error
-// joins every failure via errors.Join, each tagged with its config
-// index. The semaphore is taken before each goroutine is spawned, so a
-// 10k-config sweep keeps at most parallelism goroutines in flight
-// instead of materializing all 10k up front.
-func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
-	if parallelism <= 0 {
-		parallelism = 1
-	}
-	results := make([]RunResult, len(cfgs))
-	errs := make([]error, len(cfgs))
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i := range cfgs {
-		sem <- struct{}{} // bound spawned goroutines, not just running ones
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := Run(cfgs[i])
-			results[i] = res
-			if err != nil {
-				errs[i] = fmt.Errorf("config %d: %w", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	return results, errors.Join(errs...)
 }
 
 // UniformFlows builds n flows of the same CCA and RTT.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ccatscale/internal/audit"
+	"ccatscale/internal/budget"
 	"ccatscale/internal/sim"
 )
 
@@ -41,9 +42,24 @@ type RunError struct {
 	// Violation is the structured invariant violation when Reason is
 	// "invariant violation" (the strict audit policy failed the run).
 	Violation *audit.InvariantViolation `json:"violation,omitempty"`
+	// Budget is the structured breach when Reason is "budget breach": the
+	// resource kind, the limit, the observed value, and (for in-flight
+	// breaches) a checkpoint of what completed before enforcement
+	// stopped the run.
+	Budget *budget.BudgetError `json:"budget,omitempty"`
 	// Config is the complete configuration of the failed run; replaying
 	// it with the same seed reproduces the failure bit-for-bit.
 	Config RunConfig `json:"config"`
+}
+
+// Unwrap exposes the structured budget breach (when there is one) to
+// errors.As, so callers can match *budget.BudgetError without knowing
+// it arrived wrapped in a RunError.
+func (e *RunError) Unwrap() error {
+	if e.Budget != nil {
+		return e.Budget
+	}
+	return nil
 }
 
 // Error summarizes the failure with its replay context on one line.
@@ -52,6 +68,9 @@ func (e *RunError) Error() string {
 	fmt.Fprintf(&b, "core: run failed: %s", e.Reason)
 	if e.PanicMsg != "" {
 		fmt.Fprintf(&b, ": %s", e.PanicMsg)
+	}
+	if e.Budget != nil {
+		fmt.Fprintf(&b, ": %s", e.Budget.Error())
 	}
 	fmt.Fprintf(&b, " [seed=%d vt=%v events=%d flows=%s]",
 		e.Seed, e.VirtualTime, e.Events, flowsSummary(e.Config.Flows))

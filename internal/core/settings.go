@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ccatscale/internal/budget"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
 )
@@ -55,6 +56,16 @@ type Setting struct {
 	// accounting in every run at this virtual time — the auditor drill
 	// behind -audit-drill (requires a non-off Audit policy).
 	AuditDrillAt sim.Time
+	// Budget bounds every run of the setting (nil = unlimited); see
+	// RunConfig.Budget.
+	Budget *budget.Budget
+	// Fidelity degrades every run of the setting to the given tier via
+	// DegradeTier (0 = full fidelity). Batch drivers bump it when
+	// retrying a sweep whose full-fidelity attempt breached its budget.
+	Fidelity int
+	// Retries is the reduced-fidelity retry allowance every sweep of the
+	// setting passes to RunManyCtx (0 = fail or reject on first breach).
+	Retries int
 }
 
 // RTTs are the three base round-trip times every fairness figure sweeps.
@@ -119,9 +130,10 @@ func CoreScaleScaled(divisor int) Setting {
 }
 
 // Config builds a RunConfig for this setting with the given flows and
-// seed.
+// seed. A non-zero Fidelity degrades the config through DegradeTier
+// before it is returned.
 func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
-	return RunConfig{
+	cfg := RunConfig{
 		Rate:         s.Rate,
 		Buffer:       s.Buffer,
 		Flows:        flows,
@@ -138,5 +150,10 @@ func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
 		FaultPanicAt: s.FaultPanicAt,
 		Audit:        s.Audit,
 		AuditDrillAt: s.AuditDrillAt,
+		Budget:       s.Budget,
 	}
+	if s.Fidelity > 0 {
+		cfg = DegradeTier(cfg, s.Fidelity)
+	}
+	return cfg
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/sim"
+)
+
+// SweepOptions tunes RunManyCtx beyond plain parallelism.
+type SweepOptions struct {
+	// Parallelism bounds concurrent runs (≤0 = 1).
+	Parallelism int
+	// Retries is the number of reduced-fidelity retry attempts after a
+	// retryable failure (budget breach or wall-clock stop). Each retry
+	// degrades the config one fidelity tier via DegradeTier and waits an
+	// exponential backoff first.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry; it doubles
+	// per attempt, plus deterministic jitter seeded from the config index
+	// (0 = a small default).
+	RetryBackoff time.Duration
+	// Budget applies to every config that does not declare its own.
+	Budget *budget.Budget
+}
+
+// defaultRetryBackoff keeps retry storms apart without stalling tests.
+const defaultRetryBackoff = 50 * time.Millisecond
+
+// RunMany executes several runs concurrently (each run is internally
+// single-threaded and deterministic) and returns results in input
+// order.
+//
+// Failures do not discard completed work: the returned slice always has
+// one entry per config, holding the result for every run that
+// succeeded (and the zero RunResult where one failed), and the error
+// joins every failure via errors.Join, each tagged with its config
+// index. The semaphore is taken before each goroutine is spawned, so a
+// 10k-config sweep keeps at most parallelism goroutines in flight
+// instead of materializing all 10k up front.
+func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
+	return RunManyCtx(context.Background(), cfgs, SweepOptions{Parallelism: parallelism})
+}
+
+// RunManyCtx is RunMany with governance: context cancellation stops
+// queued configs (each skipped config's error is its ctx.Err, tagged
+// with the config index; already-running simulations finish), a sweep
+// budget gates admission (configs whose estimated footprint exceeds it
+// are rejected with a structured *budget.BudgetError instead of running
+// and OOMing siblings), and retryable failures re-run at reduced
+// fidelity tiers with exponential backoff.
+func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunResult, error) {
+	parallelism := opt.Parallelism
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	results := make([]RunResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		cfg := cfgs[i]
+		if cfg.Budget == nil {
+			cfg.Budget = opt.Budget
+		}
+		// Admission control: price the config before committing a slot.
+		// When retries permit, an over-budget config is degraded tier by
+		// tier until the estimate fits — backpressure by reduced
+		// fidelity instead of outright rejection.
+		if !cfg.Budget.Unlimited() {
+			berr := EstimateConfig(cfg).Check(cfg.Budget, cfg.Warmup+cfg.Duration)
+			for r := 0; berr != nil && r < opt.Retries; r++ {
+				cfg = DegradeTier(cfg, cfg.Fidelity+1)
+				berr = EstimateConfig(cfg).Check(cfg.Budget, cfg.Warmup+cfg.Duration)
+			}
+			if berr != nil {
+				errs[i] = fmt.Errorf("config %d: %w", i, berr)
+				continue
+			}
+		}
+		// Checked separately from the select below: with a full semaphore
+		// and a cancelled context both cases would be ready and the
+		// choice random.
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("config %d: %w", i, err)
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			errs[i] = fmt.Errorf("config %d: %w", i, ctx.Err())
+			continue
+		case sem <- struct{}{}: // bound spawned goroutines, not just running ones
+		}
+		wg.Add(1)
+		go func(i int, cfg RunConfig) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := runWithRetry(ctx, i, cfg, opt.Retries, backoff)
+			results[i] = res
+			if err != nil {
+				errs[i] = fmt.Errorf("config %d: %w", i, err)
+			}
+		}(i, cfg)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// runMany is the sweep-internal entry point: it forwards the setting's
+// retry allowance so every figure sweep inherits governance (admission
+// degradation and reduced-fidelity retries) without changing its
+// signature. Budgets already ride on each RunConfig via Setting.Config.
+func (s Setting) runMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
+	return RunManyCtx(context.Background(), cfgs, SweepOptions{
+		Parallelism: parallelism,
+		Retries:     s.Retries,
+	})
+}
+
+// runWithRetry executes one config, retrying retryable failures at
+// progressively degraded fidelity tiers. The backoff doubles per
+// attempt with jitter from an RNG seeded by the config index, so a
+// sweep's retry schedule is reproducible run to run.
+func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, backoff time.Duration) (RunResult, error) {
+	rng := sim.NewRNG(0x9e3779b97f4a7c15 ^ uint64(idx))
+	usage := budget.Usage{}
+	for attempt := 0; ; attempt++ {
+		res, err := Run(cfg)
+		if err == nil {
+			if usage.Runs > 0 { // fold failed attempts' cost into the result
+				usage.Merge(res.Usage)
+				res.Usage = usage
+			}
+			return res, nil
+		}
+		if attempt >= retries || !retryable(err) || ctx.Err() != nil {
+			return res, err
+		}
+		var re *RunError
+		if errors.As(err, &re) {
+			usage.Merge(budget.Usage{Events: re.Events, Wall: re.Wall})
+		}
+		delay := backoff << uint(attempt)
+		delay += time.Duration(rng.Int63n(int64(delay)/2 + 1))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return res, err
+		case <-timer.C:
+		}
+		cfg = DegradeTier(cfg, cfg.Fidelity+1)
+	}
+}
+
+// retryable reports whether a failure is worth a reduced-fidelity
+// retry: budget breaches and wall-clock watchdog stops are (less
+// retained state or a shorter window can fit), panics and invariant
+// violations are not (replaying a deterministic bug at lower fidelity
+// just hides it).
+func retryable(err error) bool {
+	var re *RunError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return re.Budget != nil || strings.HasPrefix(re.Reason, "wall-clock")
+}

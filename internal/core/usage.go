@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sync"
+
+	"ccatscale/internal/budget"
+)
+
+// The usage sink lets batch drivers observe per-run resource
+// consumption without threading a collector through every sweep
+// signature: cmd/reproduce installs one around each job and merges what
+// arrives into the job's manifest record. The sink only observes — it
+// receives a copy of the usage a run already computed — so installing
+// one never perturbs results.
+var (
+	usageMu   sync.Mutex
+	usageSink func(budget.Usage)
+)
+
+// SetUsageSink installs fn to receive every completed run's resource
+// usage (nil removes it). fn may be called concurrently from parallel
+// runs and must be safe for that; it is called under no lock of the
+// run's own state.
+func SetUsageSink(fn func(budget.Usage)) {
+	usageMu.Lock()
+	usageSink = fn
+	usageMu.Unlock()
+}
+
+func reportUsage(u budget.Usage) {
+	usageMu.Lock()
+	fn := usageSink
+	usageMu.Unlock()
+	if fn != nil {
+		fn(u)
+	}
+}

@@ -48,6 +48,9 @@ type CoDelQueue struct {
 	tailDrops uint64
 	aqmDrops  uint64
 
+	maxBytes   units.ByteCount
+	maxPackets int
+
 	onDrop DropFunc
 }
 
@@ -92,6 +95,18 @@ func (q *CoDelQueue) TailDrops() uint64 { return q.tailDrops }
 // AQMDrops returns drops made by the CoDel control law.
 func (q *CoDelQueue) AQMDrops() uint64 { return q.aqmDrops }
 
+// MaxBytes returns the high-water mark of byte occupancy.
+func (q *CoDelQueue) MaxBytes() units.ByteCount { return q.maxBytes }
+
+// MaxLen returns the high-water mark of packet occupancy.
+func (q *CoDelQueue) MaxLen() int { return q.maxPackets }
+
+// MemBytes returns the ring's in-memory footprint (slots × entry size),
+// for peak-usage reporting next to the budget estimator's prediction.
+func (q *CoDelQueue) MemBytes() int64 {
+	return int64(len(q.ring)) * (packet.StructBytes + 8)
+}
+
 // Push appends a packet or tail-drops it when the buffer is full (CoDel
 // still needs a hard byte limit; with the control law active it should
 // rarely be hit).
@@ -111,6 +126,12 @@ func (q *CoDelQueue) Push(p packet.Packet) bool {
 	q.n++
 	q.bytes += wire
 	q.enqueued++
+	if q.bytes > q.maxBytes {
+		q.maxBytes = q.bytes
+	}
+	if q.n > q.maxPackets {
+		q.maxPackets = q.n
+	}
 	return true
 }
 

@@ -24,6 +24,17 @@ type Queue interface {
 	Capacity() units.ByteCount
 }
 
+// OccupancyStats is the optional accounting interface both built-in
+// queues implement: high-water marks of occupancy and the realized
+// in-memory footprint. The run supervisor reports these per run, and
+// sweeps aggregate them into per-job peak-usage records that calibrate
+// the budget estimator against reality.
+type OccupancyStats interface {
+	MaxBytes() units.ByteCount
+	MaxLen() int
+	MemBytes() int64
+}
+
 // Port models a store-and-forward output port: packets are accepted into
 // a queue and serialized one at a time at the configured line rate, then
 // handed to the downstream sink. Together with DropTailQueue it is the

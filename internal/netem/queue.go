@@ -43,21 +43,28 @@ func NewDropTailQueue(capacity units.ByteCount) *DropTailQueue {
 	if capacity <= 0 {
 		panic("netem: non-positive queue capacity")
 	}
-	// Worst case for full-size traffic: capacity ÷ one MSS frame, plus
-	// one slot of slack; rounded up to a power of two so Push/Pop mask
-	// instead of dividing. Smaller-than-MSS packets can still exceed
-	// this and trigger grow, which doubles (preserving the power of
-	// two).
-	frames := int(capacity/(units.MSS+packet.HeaderBytes)) + 1
-	size := 1024
-	for size < frames {
-		size <<= 1
-	}
+	size := RingSlotsFor(capacity)
 	return &DropTailQueue{
 		capacity: capacity,
 		ring:     make([]packet.Packet, size),
 		mask:     size - 1,
 	}
+}
+
+// RingSlotsFor returns the ring preallocation NewDropTailQueue makes for
+// a byte capacity: the worst case for full-size traffic (capacity ÷ one
+// MSS frame, plus one slot of slack) rounded up to a power of two so
+// Push/Pop mask instead of dividing. Smaller-than-MSS packets can still
+// exceed this and trigger grow, which doubles (preserving the power of
+// two). Exported so the resource-budget estimator can price a buffer's
+// memory footprint without building the queue.
+func RingSlotsFor(capacity units.ByteCount) int {
+	frames := int(capacity/(units.MSS+packet.HeaderBytes)) + 1
+	size := 1024
+	for size < frames {
+		size <<= 1
+	}
+	return size
 }
 
 // Capacity returns the configured byte capacity.
@@ -80,6 +87,14 @@ func (q *DropTailQueue) MaxBytes() units.ByteCount { return q.maxBytes }
 
 // MaxLen returns the high-water mark of packet occupancy.
 func (q *DropTailQueue) MaxLen() int { return q.maxPackets }
+
+// MemBytes returns the queue's in-memory footprint: the ring's slot
+// count times the packet struct size. This is the number the budget
+// estimator predicts via RingSlotsFor; exposing the realized value lets
+// sweeps report actual peak usage next to the prediction.
+func (q *DropTailQueue) MemBytes() int64 {
+	return int64(len(q.ring)) * packet.StructBytes
+}
 
 // Push appends p if its wire size fits within the remaining capacity and
 // reports whether it was accepted. A false return is a tail drop; the

@@ -1,0 +1,9 @@
+package packet
+
+import "unsafe"
+
+// StructBytes is the in-memory size of one Packet value. Queued packets
+// dominate the bottleneck buffer's heap footprint at scale (a CoreScale
+// drop-tail ring holds ~250k of them), so the resource-budget estimator
+// prices queue capacity in these units rather than wire bytes.
+const StructBytes = int64(unsafe.Sizeof(Packet{}))

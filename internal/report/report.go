@@ -13,6 +13,10 @@ type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+	// Notes are caveat lines rendered after the rows — honesty markers
+	// like "series decimated 4×" or "run at fidelity tier 2" that must
+	// travel with the numbers they qualify.
+	Notes []string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -102,7 +106,17 @@ func (t *Table) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// AddNote appends one caveat line to the table's rendering.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
 // WriteCSV renders the table as CSV (no quoting needed for the numeric

@@ -24,6 +24,7 @@ type QueueLog struct {
 	perFlow  map[int32]uint64
 	total    uint64
 	capTimes int
+	overflow uint64
 }
 
 // NewQueueLog creates a log. maxTimestamps bounds the retained
@@ -49,8 +50,20 @@ func (l *QueueLog) OnDrop(now sim.Time, p packet.Packet) {
 	}
 	if l.capTimes == 0 || len(l.times) < l.capTimes {
 		l.times = append(l.times, now)
+	} else {
+		l.overflow++
 	}
 }
+
+// TimesLen returns the number of retained drop timestamps (the log's
+// trace-point footprint; per-flow counters are O(flows) and not
+// counted).
+func (l *QueueLog) TimesLen() int { return len(l.times) }
+
+// Overflow returns the number of window drops whose timestamps were
+// discarded because the retention cap was reached — the honesty counter
+// behind any burstiness score computed from a truncated sample.
+func (l *QueueLog) Overflow() uint64 { return l.overflow }
 
 // Total returns the total drop count.
 func (l *QueueLog) Total() uint64 { return l.total }
