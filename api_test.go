@@ -1,0 +1,182 @@
+package ccatscale
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite api.txt with the current public surface")
+
+// TestPublicAPISurface locks the package's exported surface against the
+// committed api.txt golden. An unreviewed export, removal, or signature
+// change fails here first; deliberate changes regenerate the golden
+// with `go test -run TestPublicAPISurface -update .` and show up in
+// review as a diff of api.txt.
+func TestPublicAPISurface(t *testing.T) {
+	got := publicSurface(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("api.txt updated (%d lines)", strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing golden: %v (regenerate with `go test -run TestPublicAPISurface -update .`)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; if intentional, regenerate with "+
+			"`go test -run TestPublicAPISurface -update .`\n--- api.txt\n+++ current\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// publicSurface renders every exported top-level declaration of the
+// root package, sorted, one per stanza.
+func publicSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ccatscale"]
+	if !ok {
+		t.Fatalf("package ccatscale not found in %v", pkgs)
+	}
+
+	var decls []string
+	render := func(node interface{}) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				decls = append(decls, render(&fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						ts := *s
+						ts.Doc, ts.Comment = nil, nil
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							ts.Type = exportedFieldsOnly(st)
+						}
+						decls = append(decls, "type "+render(&ts))
+					case *ast.ValueSpec:
+						vs := *s
+						vs.Doc, vs.Comment = nil, nil
+						var names []*ast.Ident
+						for _, n := range vs.Names {
+							if n.IsExported() {
+								names = append(names, n)
+							}
+						}
+						if len(names) == 0 {
+							continue
+						}
+						vs.Names = names
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						decls = append(decls, kw+" "+render(&vs))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (plain functions pass trivially).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if gen, ok := typ.(*ast.IndexExpr); ok {
+		typ = gen.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// exportedFieldsOnly strips unexported fields from a struct type, so
+// internal layout churn does not read as an API change.
+func exportedFieldsOnly(st *ast.StructType) *ast.StructType {
+	out := &ast.StructType{Struct: st.Struct, Fields: &ast.FieldList{}}
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(f.Names) > 0 && len(names) == 0 {
+			continue
+		}
+		nf := *f
+		nf.Doc, nf.Comment = nil, nil
+		nf.Names = names
+		out.Fields.List = append(out.Fields.List, &nf)
+	}
+	return out
+}
+
+// surfaceDiff renders a minimal line diff for the failure message.
+func surfaceDiff(want, got string) string {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

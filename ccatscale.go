@@ -15,13 +15,18 @@
 // # Quick start
 //
 //	setting := ccatscale.CoreScaleScaled(50) // 200 Mbps, 20–100 flows
-//	res, err := ccatscale.Run(setting.Config(
-//		ccatscale.MixedFlows(40, "cubic", "reno", 20*time.Millisecond), 1))
+//	cfg := setting.Build(
+//		ccatscale.MixedFlows(40, "cubic", "reno", 20*time.Millisecond),
+//		ccatscale.WithSeed(1))
+//	res, err := ccatscale.Run(context.Background(), cfg)
 //	if err != nil { ... }
 //	fmt.Println(res.ShareByCCA()["cubic"]) // ≈0.7–0.8 (paper Finding 8)
 //
 // Every run is deterministic in its seed: identical configurations
-// reproduce bit-identical results.
+// reproduce bit-identical results. Run and RunMany accept functional
+// options (WithBudget, WithCollector, WithSweepOptions) for resource
+// governance and live telemetry; both only observe, so an instrumented
+// run reproduces the same bits as a bare one.
 package ccatscale
 
 import (
@@ -87,13 +92,28 @@ func CoreScale() Setting { return core.CoreScale() }
 // per-flow bandwidth (2 Mbps/flow) and the buffer-to-BDP ratio.
 func CoreScaleScaled(divisor int) Setting { return core.CoreScaleScaled(divisor) }
 
-// Run executes one experiment.
-func Run(cfg RunConfig) (RunResult, error) { return core.Run(cfg) }
+// Run executes one experiment under ctx. Cancellation is polled from
+// the engine's supervisor hook, so a cancelled run stops promptly and
+// surfaces a structured error. Options attach governance and telemetry
+// to configs that do not already carry their own.
+func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (RunResult, error) {
+	o := applyOptions(opts)
+	if cfg.Budget == nil {
+		cfg.Budget = o.Budget
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = o.Collector
+	}
+	return core.RunCtx(ctx, cfg)
+}
 
-// RunMany executes several runs concurrently (each deterministic) and
-// returns results in input order.
-func RunMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
-	return core.RunMany(cfgs, parallelism)
+// RunMany executes several runs concurrently under ctx (each run is
+// internally single-threaded and deterministic) and returns results in
+// input order, one entry per config. Options configure parallelism,
+// sweep-level budget governance, and telemetry; per-config errors are
+// tagged with the config's index and joined.
+func RunMany(ctx context.Context, cfgs []RunConfig, opts ...RunOption) ([]RunResult, error) {
+	return core.RunManyCtx(ctx, cfgs, applyOptions(opts))
 }
 
 // Budget bounds one run's resource consumption: heap bytes, simulator
@@ -131,6 +151,9 @@ type SweepOptions = core.SweepOptions
 // that breach in flight are retried at reduced fidelity with
 // deterministic backoff, and a cancelled context stops scheduling new
 // runs. Per-config errors are tagged with the config's index.
+//
+// Deprecated: use RunMany with WithSweepOptions — same behavior,
+// options-based surface.
 func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunResult, error) {
 	return core.RunManyCtx(ctx, cfgs, opt)
 }

@@ -1,6 +1,7 @@
 package ccatscale
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -21,7 +22,8 @@ func TestPublicRunAndShares(t *testing.T) {
 	// (with HyStart both leave slow start early), so give the run
 	// enough rounds for the cubic-vs-AIMD growth gap to show.
 	s.Duration = 60e9
-	res, err := Run(s.Config(MixedFlows(10, "cubic", "reno", 20*time.Millisecond), 1))
+	cfg := s.Build(MixedFlows(10, "cubic", "reno", 20*time.Millisecond), WithSeed(1))
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +117,9 @@ func TestPublicSweeps(t *testing.T) {
 	if err != nil || len(inter) != 1 {
 		t.Fatalf("InterCCASweep: %+v %v", inter, err)
 	}
-	res, err := RunMany([]RunConfig{s.Config(UniformFlows(2, "reno", 20*time.Millisecond), 1)}, 2)
+	res, err := RunMany(context.Background(),
+		[]RunConfig{s.Build(UniformFlows(2, "reno", 20*time.Millisecond), WithSeed(1))},
+		WithParallelism(2))
 	if err != nil || len(res) != 1 {
 		t.Fatalf("RunMany: %v", err)
 	}

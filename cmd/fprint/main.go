@@ -2,17 +2,120 @@
 // behavior across CCAs, seeds, and impairment configurations. It exists
 // to verify bit-identity of hot-path optimizations: run it before and
 // after a change and diff the output.
+//
+// Two auxiliary modes ride along:
+//
+//	fprint -telemetry      attach a full telemetry pipeline (collector,
+//	                       registry, JSONL serialization to /dev/null) to
+//	                       every run; stdout must stay byte-identical to
+//	                       a plain run — the observability-never-perturbs
+//	                       guarantee, checked in CI by diffing the two.
+//	fprint -check FILE     validate a result artifact (JSON table or
+//	                       telemetry JSONL stream) against this build's
+//	                       result schema, rejecting unknown major
+//	                       versions with a clear error.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"ccatscale/internal/core"
+	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
 
 func main() {
+	withTelemetry := flag.Bool("telemetry", false, "attach a telemetry collector to every run (output must not change)")
+	checkFile := flag.String("check", "", "validate a JSON table or telemetry JSONL file against the result schema and exit")
+	flag.Parse()
+
+	if *checkFile != "" {
+		if err := checkArtifact(*checkFile); err != nil {
+			fmt.Fprintf(os.Stderr, "fprint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var coll telemetry.Collector
+	var stream *telemetry.Stream
+	reg := telemetry.NewRegistry()
+	if *withTelemetry {
+		var err error
+		stream, err = telemetry.NewStream(io.Discard, "fprint")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fprint: %v\n", err)
+			os.Exit(1)
+		}
+		coll = telemetry.Multi(stream.Collector("fprint"), reg.Instrument())
+	}
+	fingerprint(coll)
+	if *withTelemetry {
+		if err := stream.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "fprint: telemetry stream: %v\n", err)
+			os.Exit(1)
+		}
+		// Stderr only: the stdout fingerprint must stay byte-identical.
+		snap := reg.Snapshot()
+		fmt.Fprintf(os.Stderr, "telemetry: %d events across %d runs\n",
+			totalEvents(snap), snap.Counters["runs_ended"])
+	}
+}
+
+// checkArtifact validates a result artifact's schema version. The file
+// kind is sniffed: telemetry JSONL streams start with a header record
+// carrying "k":"header"; anything else is treated as a JSON table.
+func checkArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if bytes.Contains(firstLine(data), []byte(`"k":"header"`)) {
+		n := 0
+		if err := telemetry.ParseStream(bytes.NewReader(data), func(telemetry.StreamRecord) error {
+			n++
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("%s: telemetry stream ok (%d records)\n", path, n)
+		return nil
+	}
+	t, err := report.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: table ok (%d columns, %d rows)\n", path, len(t.Headers), len(t.Rows))
+	return nil
+}
+
+func firstLine(data []byte) []byte {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return data[:i]
+	}
+	return data
+}
+
+func totalEvents(snap telemetry.Snapshot) int64 {
+	var total int64
+	for name, v := range snap.Counters {
+		if len(name) > len("telemetry_events_total/") && name[:len("telemetry_events_total/")] == "telemetry_events_total/" {
+			total += v
+		}
+	}
+	return total
+}
+
+// fingerprint runs the fixed experiment matrix and prints the
+// deterministic result lines. coll, when non-nil, is attached to every
+// run; it must not change a single printed byte.
+func fingerprint(coll telemetry.Collector) {
 	ccas := []string{"reno", "cubic", "cubic-nohystart", "bbr", "bbr2"}
 	for _, cca := range ccas {
 		for _, seed := range []uint64{1, 7, 42} {
@@ -25,6 +128,7 @@ func main() {
 				Stagger:        sim.Second,
 				Seed:           seed,
 				SeriesInterval: 500 * sim.Millisecond,
+				Collector:      coll,
 			}
 			res, err := core.Run(cfg)
 			if err != nil {
@@ -57,13 +161,14 @@ func main() {
 	}
 	for _, v := range variants {
 		cfg := core.RunConfig{
-			Rate:     50 * units.MbitPerSec,
-			Buffer:   units.BDP(50*units.MbitPerSec, 40*sim.Millisecond),
-			Flows:    core.MixedFlows(4, "cubic", "bbr", 20*sim.Millisecond),
-			Warmup:   2 * sim.Second,
-			Duration: 8 * sim.Second,
-			Stagger:  sim.Second,
-			Seed:     42,
+			Rate:      50 * units.MbitPerSec,
+			Buffer:    units.BDP(50*units.MbitPerSec, 40*sim.Millisecond),
+			Flows:     core.MixedFlows(4, "cubic", "bbr", 20*sim.Millisecond),
+			Warmup:    2 * sim.Second,
+			Duration:  8 * sim.Second,
+			Stagger:   sim.Second,
+			Seed:      42,
+			Collector: coll,
 		}
 		v.mut(&cfg)
 		res, err := core.Run(cfg)

@@ -5,11 +5,20 @@
 //
 //	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE] [-audit strict]
 //	          [-mem-budget 512M] [-event-budget N] [-retries N]
+//	          [-progress] [-telemetry out.jsonl] [-pprof localhost:6060]
 //
 // -quick shrinks windows and flow counts for a minutes-long smoke pass;
 // the default tier is EdgeScale plus CoreScale/N (1 Gbps at N=10).
 // Paper-literal scale (10 Gbps, 5000 flows) remains available through
 // `ccatscale <fig> -full`, budgeted in CPU-days.
+//
+// Three observation surfaces are opt-in and never perturb results:
+// -progress prints a live status line (jobs done/running, estimator
+// ETA, fidelity tier) to stderr; -telemetry streams every run's
+// lifecycle events as JSONL (summarize with `tracestat -telemetry`,
+// validate with `fprint -check`); -pprof serves net/http/pprof plus a
+// /metricsz JSON snapshot of the telemetry registry. Each table is
+// also written as a versioned .json document beside its .txt form.
 //
 // The sweep is fail-safe: a job that errors (or panics) is recorded in
 // the output directory's manifest.json — with a replayable
@@ -46,6 +55,7 @@ import (
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
 
@@ -81,6 +91,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	force := fs.Bool("force", false, "resume even when the manifest's job set no longer matches")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at sweep end to this file (go tool pprof)")
+	progress := fs.Bool("progress", false, "print a live sweep status line to stderr (jobs done/running/rejected, estimator ETA, fidelity tier)")
+	telemetryOut := fs.String("telemetry", "", "write a telemetry JSONL stream of every run to this file (analyze with tracestat -telemetry)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and a /metricsz telemetry snapshot on this address (e.g. localhost:6060)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -240,15 +253,59 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		man = newManifest(*seed, *scale, *quick, hash)
 	}
 
-	injected := false
-	var failed, rejected []string
-	ran := 0
+	// Live telemetry surfaces: a JSONL stream file, a metrics registry
+	// behind -pprof's /metricsz, and the -progress status line. All are
+	// observation-only — runs stay bit-identical with them attached.
+	var stream *telemetry.Stream
+	var streamFile *os.File
+	var regColl telemetry.Collector
+	reg := telemetry.NewRegistry()
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		stream, err = telemetry.NewStream(f, "reproduce seed="+strconv.FormatUint(*seed, 10))
+		if err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		streamFile = f
+	}
+	if *pprofAddr != "" {
+		regColl = reg.Instrument()
+		addr, err := startDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "reproduce: debug server on http://%s (/debug/pprof/, /metricsz)\n", addr)
+	}
+
+	toRun := make([]job, 0, len(jobs))
 	for _, j := range jobs {
 		if onlyRE != nil && !onlyRE.MatchString(j.name) {
 			continue
 		}
+		toRun = append(toRun, j)
+	}
+	var pt *progressTracker
+	if *progress {
+		pt = newProgressTracker(stderr, toRun)
+		defer pt.finish()
+	}
+
+	injected := false
+	var failed, rejected []string
+	ran := 0
+	for _, j := range toRun {
 		if *resume && man.done(*out, j.name) {
 			fmt.Fprintf(stdout, "%-24s %8s  (already done, skipped)\n", j.name, "resume")
+			if pt != nil {
+				pt.jobEnded(j.name, "done")
+			}
 			continue
 		}
 		if *resume {
@@ -268,6 +325,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			j.setting.FaultPanicAt = sim.Second
 			injected = true
 		}
+		if stream != nil || regColl != nil {
+			var sc telemetry.Collector
+			if stream != nil {
+				sc = stream.Collector(j.name)
+			}
+			j.setting.Telemetry = telemetry.Multi(sc, regColl)
+		}
+		if pt != nil {
+			pt.jobStarted(j.name, j.setting.Fidelity)
+		}
 		ran++
 		start := time.Now()
 		// Collect per-run resource usage for the job's manifest record.
@@ -281,12 +348,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tab, err := runJob(j)
 		core.SetUsageSink(nil)
 		fileName := j.name + ".txt"
+		jsonName := j.name + ".json"
 		if err == nil {
 			if jobUsage.Degraded() {
 				tab.AddNote("reduced fidelity: tier %d, series decimation %d× (budget governance)",
 					jobUsage.MaxFidelity, jobUsage.MaxDecimation)
 			}
 			err = writeTable(filepath.Join(*out, fileName), tab, *seed, start, jobUsage.Degraded())
+			if err == nil {
+				err = writeJSONTable(filepath.Join(*out, jsonName), tab)
+			}
 		}
 		wall := time.Since(start)
 		rec := &jobRecord{Wall: wall.Round(time.Millisecond).String()}
@@ -326,6 +397,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		default:
 			rec.Status = "done"
 			rec.File = fileName
+			rec.JSON = jsonName
 			marker := ""
 			if rec.Degraded {
 				marker = "  (degraded)"
@@ -333,11 +405,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-24s %8s  → %s%s\n",
 				j.name, wall.Round(time.Second), filepath.Join(*out, fileName), marker)
 		}
+		if pt != nil {
+			pt.jobEnded(j.name, rec.Status)
+		}
 		man.Jobs[j.name] = rec
 		if err := man.save(*out); err != nil {
 			fmt.Fprintln(stderr, "reproduce:", err)
 			return 1
 		}
+	}
+
+	if stream != nil {
+		err := stream.Flush()
+		if cerr := streamFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "reproduce: telemetry stream: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "reproduce: telemetry written to %s\n", *telemetryOut)
 	}
 
 	if *panicJob != "" && !injected {
@@ -413,6 +500,26 @@ func writeTable(path string, tab *report.Table, seed uint64, start time.Time, de
 		_, err = fmt.Fprintf(f, "\n[seed %d, wall %s%s]\n", seed,
 			time.Since(start).Round(time.Millisecond), marker)
 	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeJSONTable writes the versioned JSON rendering of a table beside
+// its text form, with the same remove-on-error discipline. The JSON
+// carries schema_version so downstream consumers (fprint -check) can
+// gate on the result schema's major version.
+func writeJSONTable(path string, tab *report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tab.WriteJSON(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

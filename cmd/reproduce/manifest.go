@@ -9,6 +9,7 @@ import (
 
 	"ccatscale/internal/budget"
 	"ccatscale/internal/core"
+	"ccatscale/internal/schema"
 )
 
 // manifestFile is the checkpoint the sweep keeps in its output
@@ -17,17 +18,21 @@ import (
 const manifestFile = "manifest.json"
 
 // manifestVersion is bumped when the record's meaning changes; version
-// 2 added ConfigHash and per-job resource usage.
-const manifestVersion = 2
+// 2 added ConfigHash and per-job resource usage, version 3 the shared
+// result schema_version and per-job JSON tables.
+const manifestVersion = 3
 
 // manifest records a sweep's parameters and per-job outcomes. The
 // parameters are part of the record because resuming under a different
 // seed or scale would silently mix incompatible tables.
 type manifest struct {
-	Version int    `json:"version"`
-	Seed    uint64 `json:"seed"`
-	Scale   int    `json:"scale"`
-	Quick   bool   `json:"quick"`
+	Version int `json:"version"`
+	// SchemaVersion is the shared result schema (internal/schema) the
+	// sweep's JSON tables and telemetry streams were written under.
+	SchemaVersion string `json:"schema_version"`
+	Seed          uint64 `json:"seed"`
+	Scale         int    `json:"scale"`
+	Quick         bool   `json:"quick"`
 	// ConfigHash fingerprints the experiment-defining job list (names
 	// and settings, with governance knobs zeroed). -resume refuses a
 	// manifest whose hash no longer matches the jobs this binary would
@@ -44,6 +49,9 @@ type jobRecord struct {
 	Status string `json:"status"`
 	// File is the output table, relative to the output directory.
 	File string `json:"file,omitempty"`
+	// JSON is the table's versioned JSON rendering, relative to the
+	// output directory.
+	JSON string `json:"json,omitempty"`
 	// Wall is the job's wall-clock duration.
 	Wall string `json:"wall,omitempty"`
 	// Error holds the failure summary for failed and rejected jobs.
@@ -62,12 +70,13 @@ type jobRecord struct {
 
 func newManifest(seed uint64, scale int, quick bool, configHash string) *manifest {
 	return &manifest{
-		Version:    manifestVersion,
-		Seed:       seed,
-		Scale:      scale,
-		Quick:      quick,
-		ConfigHash: configHash,
-		Jobs:       map[string]*jobRecord{},
+		Version:       manifestVersion,
+		SchemaVersion: schema.Version,
+		Seed:          seed,
+		Scale:         scale,
+		Quick:         quick,
+		ConfigHash:    configHash,
+		Jobs:          map[string]*jobRecord{},
 	}
 }
 
@@ -160,6 +169,9 @@ func configHash(seed uint64, scale int, quick bool, jobs []job) string {
 		s.Retries = 0
 		s.Fidelity = 0
 		s.WallLimit = 0
+		// Telemetry is json:"-" so marshal skips it; zero it anyway so
+		// the hash's inputs are visibly observation-free.
+		s.Telemetry = nil
 		hj[i] = hashJob{Name: j.name, Setting: s}
 	}
 	data, err := json.Marshal(struct {

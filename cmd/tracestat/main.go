@@ -6,6 +6,11 @@
 // Input is one event timestamp per line (seconds, float), on stdin or
 // in the files given as arguments. Lines starting with '#' are
 // ignored; for CSV lines the first field is used.
+//
+// With -telemetry, the input is instead a telemetry JSONL stream (as
+// written by reproduce -telemetry or fprint -telemetry) and the summary
+// is event-taxonomy-aware: per-kind counts, per-run and per-flow loss
+// episodes, queue watermarks, and the stream's virtual-time span.
 package main
 
 import (
@@ -19,13 +24,22 @@ import (
 	"strings"
 
 	"ccatscale/internal/metrics"
+	"ccatscale/internal/telemetry"
 )
 
 func main() {
+	telemetryMode := flag.Bool("telemetry", false, "input is a telemetry JSONL stream, not raw timestamps")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tracestat [file ...] (default: stdin)\n")
+		fmt.Fprintf(os.Stderr, "usage: tracestat [-telemetry] [file ...] (default: stdin)\n")
 	}
 	flag.Parse()
+
+	if *telemetryMode {
+		if err := summarizeTelemetry(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var times []float64
 	if flag.NArg() == 0 {
@@ -90,6 +104,102 @@ func parse(r io.Reader) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, sc.Err()
+}
+
+// summarizeTelemetry reads one or more telemetry JSONL streams and
+// prints a taxonomy-aware summary. Unknown schema majors are rejected
+// by the stream parser before any record is consumed.
+func summarizeTelemetry(names []string) error {
+	kindCounts := map[string]int{}
+	lossByRun := map[string]int{}
+	runs := map[string]bool{}
+	flows := map[string]bool{}
+	var records int
+	var minT, maxT float64
+	var queuePeakBytes, queuePeakPkts int64
+	var degradations int
+
+	scan := func(r io.Reader) error {
+		return telemetry.ParseStream(r, func(rec telemetry.StreamRecord) error {
+			records++
+			kindCounts[rec.Kind]++
+			if records == 1 || rec.T < minT {
+				minT = rec.T
+			}
+			if rec.T > maxT {
+				maxT = rec.T
+			}
+			if rec.Run != "" {
+				runs[rec.Run] = true
+			}
+			if rec.Flow >= 0 {
+				flows[fmt.Sprintf("%s/%d", rec.Run, rec.Flow)] = true
+			}
+			switch rec.Kind {
+			case "loss":
+				lossByRun[rec.Run]++
+			case "queue-watermark":
+				if rec.A > queuePeakBytes {
+					queuePeakBytes = rec.A
+				}
+				if rec.B > queuePeakPkts {
+					queuePeakPkts = rec.B
+				}
+			case "degraded":
+				degradations++
+			}
+			return nil
+		})
+	}
+	if len(names) == 0 {
+		if err := scan(os.Stdin); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		err = scan(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	if records == 0 {
+		return fmt.Errorf("no telemetry records")
+	}
+
+	fmt.Printf("records:     %d\n", records)
+	fmt.Printf("run labels:  %d\n", len(runs))
+	if n := kindCounts["run-start"]; n > 0 {
+		fmt.Printf("sim runs:    %d\n", n)
+	}
+	fmt.Printf("flows seen:  %d\n", len(flows))
+	fmt.Printf("virtual span: %.3fs – %.3fs\n", minT, maxT)
+	kinds := make([]string, 0, len(kindCounts))
+	for k := range kindCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, kindCounts[k])
+	}
+	if n := kindCounts["loss"]; n > 0 {
+		perRun := make([]float64, 0, len(lossByRun))
+		for _, c := range lossByRun {
+			perRun = append(perRun, float64(c))
+		}
+		fmt.Printf("loss episodes: %d total, mean %.1f/label\n", n, metrics.Mean(perRun))
+	}
+	if queuePeakBytes > 0 {
+		fmt.Printf("queue peak:  %d bytes, %d packets\n", queuePeakBytes, queuePeakPkts)
+	}
+	if degradations > 0 {
+		fmt.Printf("fidelity degradations: %d\n", degradations)
+	}
+	return nil
 }
 
 func fatal(err error) {

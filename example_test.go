@@ -1,6 +1,7 @@
 package ccatscale_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,13 +43,17 @@ func ExampleWareBBRShare() {
 	// Output: deep buffer: 50%
 }
 
-// ExampleRun executes a minimal deterministic experiment end to end.
+// ExampleRun executes a minimal deterministic experiment end to end
+// with the options-based API: the seed is typed (untransposable with
+// flow counts) and the call is context-first.
 func ExampleRun() {
 	setting := ccatscale.CoreScaleScaled(100) // 100 Mbps tier
 	setting.Warmup = 5e9
 	setting.Duration = 20e9
-	res, err := ccatscale.Run(setting.Config(
-		ccatscale.UniformFlows(4, "reno", 20*time.Millisecond), 1))
+	cfg := setting.Build(
+		ccatscale.UniformFlows(4, "reno", 20*time.Millisecond),
+		ccatscale.WithSeed(1))
+	res, err := ccatscale.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -56,4 +61,31 @@ func ExampleRun() {
 	fmt.Printf("flows: %d, utilization > 90%%: %v\n",
 		len(res.Flows), res.Utilization > 0.9)
 	// Output: flows: 4, utilization > 90%: true
+}
+
+// ExampleRun_telemetry attaches a telemetry collector to a run. The
+// collector observes loss episodes without perturbing the simulation:
+// the run's results are bit-identical with or without it.
+func ExampleRun_telemetry() {
+	setting := ccatscale.CoreScaleScaled(100)
+	setting.Warmup = 5e9
+	setting.Duration = 20e9
+	cfg := setting.Build(
+		ccatscale.UniformFlows(4, "reno", 20*time.Millisecond),
+		ccatscale.WithSeed(1))
+
+	var losses int
+	counter := ccatscale.CollectorFunc(func(ev ccatscale.Event) {
+		if ev.Kind == ccatscale.EventLoss {
+			losses++
+		}
+	})
+	res, err := ccatscale.Run(context.Background(), cfg, ccatscale.WithCollector(counter))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("saw loss episodes: %v, utilization > 90%%: %v\n",
+		losses > 0, res.Utilization > 0.9)
+	// Output: saw loss episodes: true, utilization > 90%: true
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -26,8 +27,10 @@ func main() {
 	for _, n := range setting.FlowCounts {
 		var shares [2]float64
 		for i, bbr := range []string{"bbr", "bbr2"} {
-			res, err := ccatscale.Run(setting.Config(
-				ccatscale.MixedFlows(n, bbr, "reno", rtts[0]), 1))
+			cfg := setting.Build(
+				ccatscale.MixedFlows(n, bbr, "reno", rtts[0]),
+				ccatscale.WithSeed(1))
+			res, err := ccatscale.Run(context.Background(), cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

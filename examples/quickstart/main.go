@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,7 +24,8 @@ func main() {
 	// Ten Cubic flows against ten NewReno flows, all at 20 ms base RTT.
 	flows := ccatscale.MixedFlows(20, "cubic", "reno", 20*time.Millisecond)
 
-	res, err := ccatscale.Run(setting.Config(flows, 42))
+	cfg := setting.Build(flows, ccatscale.WithSeed(42))
+	res, err := ccatscale.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

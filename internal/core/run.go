@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -22,6 +23,7 @@ import (
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/tcp"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/trace"
 	"ccatscale/internal/units"
 )
@@ -124,6 +126,13 @@ type RunConfig struct {
 	// fidelity). It is set by DegradeTier, never by hand, and is carried
 	// into RunResult.Usage so reduced-fidelity results are marked.
 	Fidelity int
+	// Collector receives the run's telemetry events (nil = off, the
+	// default). Telemetry only observes: it adds no engine events and
+	// consumes no randomness, so an instrumented run stays bit-identical
+	// to an uninstrumented one — cmd/fprint verifies this. The field is
+	// excluded from serialization: a collector is a live attachment, not
+	// part of the experiment's identity.
+	Collector telemetry.Collector `json:"-"`
 }
 
 func (c *RunConfig) withDefaults() RunConfig {
@@ -310,7 +319,31 @@ type flowSnap struct {
 // carrying the seed, config snapshot, virtual time, and event count —
 // enough to replay the failure in one command — rather than crashing
 // the process.
-func Run(cfg RunConfig) (res RunResult, err error) {
+func Run(cfg RunConfig) (RunResult, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// fidelityLabel renders a degradation tier for telemetry.
+func fidelityLabel(tier int) string {
+	switch tier {
+	case 0:
+		return "full"
+	case 1:
+		return "tier-1"
+	case 2:
+		return "tier-2"
+	case 3:
+		return "tier-3"
+	}
+	return fmt.Sprintf("tier-%d", tier)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is polled from the
+// engine's interrupt hook (the same supervisor channel the watchdogs
+// and budgets use), so cancellation stops the run within one interrupt
+// interval and surfaces as a *RunError. A background context adds no
+// hook and changes nothing.
+func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 	if err := cfg.validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -333,6 +366,16 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
+
+	coll := cfg.Collector
+	if coll != nil {
+		coll.Emit(telemetry.Event{
+			Kind: telemetry.KindRunStart, Flow: -1,
+			Label: fidelityLabel(cfg.Fidelity),
+			A:     int64(len(cfg.Flows)), B: int64(cfg.Seed),
+		})
+	}
+	done := ctx.Done()
 
 	// The invariant auditor (nil when the policy is off). It observes
 	// the run — every hook below is read-only with respect to simulation
@@ -418,11 +461,16 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	for i, f := range cfg.Flows {
 		factory, _ := cca.ByName(f.CCA)
 		ctrl := factory(cfg.MSS, rng.Split())
+		// Telemetry observes outermost so the audit wrapper keeps its
+		// direct view of the controller's checking interfaces; the
+		// observer walks the Unwrap chain to find the state machine.
+		wrapped := telemetry.WrapCCA(audit.WrapCCA(ctrl, cfg.MSS, int32(i), aud), int32(i), coll)
 		senders[i] = tcp.NewSender(eng, int32(i), tcp.Config{
-			MSS:    cfg.MSS,
-			CCA:    audit.WrapCCA(ctrl, cfg.MSS, int32(i), aud),
-			Output: output,
-			Audit:  aud,
+			MSS:       cfg.MSS,
+			CCA:       wrapped,
+			Output:    output,
+			Audit:     aud,
+			Telemetry: coll,
 		})
 		receivers[i] = tcp.NewReceiver(eng, int32(i), tcp.ReceiverConfig{
 			DelAckDelay: cfg.DelAckDelay,
@@ -466,9 +514,10 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			policy = netem.OutageHold
 		}
 		outg = netem.NewOutage(eng, netem.OutageConfig{
-			Windows: cfg.Outage.windows(),
-			Policy:  policy,
-			OnDrop:  func(sim.Time, packet.Packet) { outageDrops++ },
+			Windows:   cfg.Outage.windows(),
+			Policy:    policy,
+			OnDrop:    func(sim.Time, packet.Packet) { outageDrops++ },
+			Telemetry: coll,
 		}, toReceiver)
 		toReceiver = outg.Send
 	}
@@ -563,18 +612,19 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		eng.Schedule(cfg.Warmup+cfg.Converge, check)
 	}
 
-	// Watchdogs and budget enforcement share the engine's interrupt hook:
-	// a wall-clock limit, a virtual-time progress guard, and — when a
-	// budget is set — periodic in-flight resource checks that convert
-	// breaches into replayable errors carrying a checkpoint. The hook is
+	// Watchdogs, budget enforcement, cancellation, and telemetry
+	// sampling share the engine's interrupt hook: a wall-clock limit, a
+	// virtual-time progress guard, ctx polling, and — when a budget is
+	// set — periodic in-flight resource checks that convert breaches
+	// into replayable errors carrying a checkpoint. The hook is
 	// installed only when something is configured, so an unbudgeted,
-	// unguarded run keeps an untouched hot path.
+	// unguarded, uninstrumented run keeps an untouched hot path.
 	bud := cfg.Budget
 	var watchdogReason string
 	var breach *budget.BudgetError
 	var peakEventCap int
 	var peakHeap int64
-	if cfg.WallLimit > 0 || cfg.StallEvents > 0 || !bud.Unlimited() {
+	if cfg.WallLimit > 0 || cfg.StallEvents > 0 || !bud.Unlimited() || coll != nil || done != nil {
 		const wallCheckEvery = 1 << 13
 		every := uint64(wallCheckEvery)
 		if cfg.StallEvents > 0 && cfg.StallEvents < every {
@@ -597,9 +647,45 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 			}
 			eng.Stop()
 		}
+		// Telemetry sampling state: the queue high-water mark is emitted
+		// on every new peak, engine progress about once per virtual
+		// second. Both are pure observations of already-committed state.
+		var occ netem.OccupancyStats
+		if coll != nil {
+			occ, _ = db.Port().Queue().(netem.OccupancyStats)
+		}
+		var lastPeakBytes units.ByteCount
+		var nextSample sim.Time
 		eng.SetInterrupt(every, func() {
+			if coll != nil {
+				if occ != nil {
+					if peak := occ.MaxBytes(); peak > lastPeakBytes {
+						lastPeakBytes = peak
+						coll.Emit(telemetry.Event{
+							Time: eng.Now(), Kind: telemetry.KindQueueWatermark,
+							Flow: -1, A: int64(peak), B: int64(occ.MaxLen()),
+						})
+					}
+				}
+				if now := eng.Now(); now >= nextSample {
+					nextSample = now + sim.Second
+					coll.Emit(telemetry.Event{
+						Time: now, Kind: telemetry.KindEngineSample,
+						Flow: -1, A: int64(eng.Processed()), B: int64(eng.Len()),
+					})
+				}
+			}
 			if watchdogReason != "" {
 				return
+			}
+			if done != nil {
+				select {
+				case <-done:
+					watchdogReason = fmt.Sprintf("run canceled: %v", context.Cause(ctx))
+					eng.Stop()
+					return
+				default:
+				}
 			}
 			if cfg.WallLimit > 0 && time.Since(wallStart) > cfg.WallLimit {
 				watchdogReason = fmt.Sprintf("wall-clock limit exceeded (%v)", cfg.WallLimit)
@@ -693,6 +779,13 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 		res.Flows = append(res.Flows, fr)
 		res.AggregateGoodput += fr.Goodput
 		res.TotalDrops += fr.Drops
+		if coll != nil {
+			coll.Emit(telemetry.Event{
+				Time: stopAt, Kind: telemetry.KindFlowEnd,
+				Flow: int32(i), CCA: fr.Spec.CCA,
+				A: int64(fr.Goodput), B: int64(fr.Drops),
+			})
+		}
 	}
 	res.DropBurstiness = metrics.Burstiness(qlog.TimesSeconds())
 	res.RandomDrops = randomDrops
@@ -723,6 +816,12 @@ func Run(cfg RunConfig) (res RunResult, err error) {
 	if st, ok := db.Port().Queue().(netem.OccupancyStats); ok {
 		res.Usage.PeakQueueBytes = int64(st.MaxBytes())
 		res.Usage.PeakQueuePackets = int64(st.MaxLen())
+	}
+	if coll != nil {
+		coll.Emit(telemetry.Event{
+			Time: stopAt, Kind: telemetry.KindRunEnd, Flow: -1,
+			A: int64(eng.Processed()), B: int64(res.AggregateGoodput),
+		})
 	}
 	reportUsage(res.Usage)
 	return res, nil

@@ -6,6 +6,7 @@ import (
 
 	"ccatscale/internal/budget"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
 
@@ -66,6 +67,11 @@ type Setting struct {
 	// Retries is the reduced-fidelity retry allowance every sweep of the
 	// setting passes to RunManyCtx (0 = fail or reject on first breach).
 	Retries int
+	// Telemetry attaches a collector to every run built from the setting
+	// (nil = off). Like RunConfig.Collector it is a live attachment, not
+	// part of the experiment's identity, and is excluded from
+	// serialization.
+	Telemetry telemetry.Collector `json:"-"`
 }
 
 // RTTs are the three base round-trip times every fairness figure sweeps.
@@ -129,10 +135,30 @@ func CoreScaleScaled(divisor int) Setting {
 	return s
 }
 
-// Config builds a RunConfig for this setting with the given flows and
-// seed. A non-zero Fidelity degrades the config through DegradeTier
-// before it is returned.
-func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
+// Seed is a typed simulation seed. It exists so the options-based
+// config path cannot transpose a seed with a flow count or any other
+// bare integer: WithSeed(Seed(42)) reads as what it is at every call
+// site, and nothing else converts to it implicitly.
+type Seed uint64
+
+// ConfigOption customizes a RunConfig built by Setting.Build.
+type ConfigOption func(*RunConfig)
+
+// WithSeed sets the run's seed.
+func WithSeed(seed Seed) ConfigOption {
+	return func(c *RunConfig) { c.Seed = uint64(seed) }
+}
+
+// WithRunCollector attaches a telemetry collector to the built config,
+// overriding the setting's Telemetry attachment.
+func WithRunCollector(coll telemetry.Collector) ConfigOption {
+	return func(c *RunConfig) { c.Collector = coll }
+}
+
+// Build constructs a RunConfig for this setting with the given flows,
+// customized by options (seed, telemetry, …). A non-zero Fidelity
+// degrades the config through DegradeTier before it is returned.
+func (s Setting) Build(flows []FlowSpec, opts ...ConfigOption) RunConfig {
 	cfg := RunConfig{
 		Rate:         s.Rate,
 		Buffer:       s.Buffer,
@@ -142,7 +168,6 @@ func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
 		Stagger:      s.Stagger,
 		Converge:     s.Converge,
 		AQM:          s.AQM,
-		Seed:         seed,
 		BurstLoss:    s.BurstLoss,
 		Outage:       s.Outage,
 		WallLimit:    s.WallLimit,
@@ -151,9 +176,22 @@ func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
 		Audit:        s.Audit,
 		AuditDrillAt: s.AuditDrillAt,
 		Budget:       s.Budget,
+		Collector:    s.Telemetry,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	if s.Fidelity > 0 {
 		cfg = DegradeTier(cfg, s.Fidelity)
 	}
 	return cfg
+}
+
+// Config builds a RunConfig for this setting with the given flows and
+// seed.
+//
+// Deprecated: use Build with WithSeed — the positional uint64 here is
+// transposable with flow counts at call sites.
+func (s Setting) Config(flows []FlowSpec, seed uint64) RunConfig {
+	return s.Build(flows, WithSeed(Seed(seed)))
 }

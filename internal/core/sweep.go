@@ -10,6 +10,7 @@ import (
 
 	"ccatscale/internal/budget"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 )
 
 // SweepOptions tunes RunManyCtx beyond plain parallelism.
@@ -27,6 +28,10 @@ type SweepOptions struct {
 	RetryBackoff time.Duration
 	// Budget applies to every config that does not declare its own.
 	Budget *budget.Budget
+	// Collector applies to every config that does not declare its own;
+	// it also receives the sweep's governance events (admission and
+	// retry fidelity degradations, as KindDegraded).
+	Collector telemetry.Collector
 }
 
 // defaultRetryBackoff keeps retry storms apart without stalling tests.
@@ -72,11 +77,15 @@ func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunR
 		if cfg.Budget == nil {
 			cfg.Budget = opt.Budget
 		}
+		if cfg.Collector == nil {
+			cfg.Collector = opt.Collector
+		}
 		// Admission control: price the config before committing a slot.
 		// When retries permit, an over-budget config is degraded tier by
 		// tier until the estimate fits — backpressure by reduced
 		// fidelity instead of outright rejection.
 		if !cfg.Budget.Unlimited() {
+			admitted := cfg.Fidelity
 			berr := EstimateConfig(cfg).Check(cfg.Budget, cfg.Warmup+cfg.Duration)
 			for r := 0; berr != nil && r < opt.Retries; r++ {
 				cfg = DegradeTier(cfg, cfg.Fidelity+1)
@@ -85,6 +94,12 @@ func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunR
 			if berr != nil {
 				errs[i] = fmt.Errorf("config %d: %w", i, berr)
 				continue
+			}
+			if cfg.Fidelity > admitted && cfg.Collector != nil {
+				cfg.Collector.Emit(telemetry.Event{
+					Kind: telemetry.KindDegraded, Flow: -1,
+					Label: "admission", A: int64(cfg.Fidelity), B: int64(i),
+				})
 			}
 		}
 		// Checked separately from the select below: with a full semaphore
@@ -134,7 +149,7 @@ func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, back
 	rng := sim.NewRNG(0x9e3779b97f4a7c15 ^ uint64(idx))
 	usage := budget.Usage{}
 	for attempt := 0; ; attempt++ {
-		res, err := Run(cfg)
+		res, err := RunCtx(ctx, cfg)
 		if err == nil {
 			if usage.Runs > 0 { // fold failed attempts' cost into the result
 				usage.Merge(res.Usage)
@@ -159,6 +174,12 @@ func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, back
 		case <-timer.C:
 		}
 		cfg = DegradeTier(cfg, cfg.Fidelity+1)
+		if cfg.Collector != nil {
+			cfg.Collector.Emit(telemetry.Event{
+				Kind: telemetry.KindDegraded, Flow: -1,
+				Label: "retry", A: int64(cfg.Fidelity), B: int64(idx),
+			})
+		}
 	}
 }
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
+	"ccatscale/internal/units"
+)
+
+// countingCollector tallies events by kind, safely across parallel runs.
+type countingCollector struct {
+	mu     sync.Mutex
+	counts map[telemetry.Kind]int
+	events []telemetry.Event
+}
+
+func newCountingCollector() *countingCollector {
+	return &countingCollector{counts: map[telemetry.Kind]int{}}
+}
+
+func (c *countingCollector) Emit(ev telemetry.Event) {
+	c.mu.Lock()
+	c.counts[ev.Kind]++
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+func telemetryTestConfig(coll telemetry.Collector) RunConfig {
+	return RunConfig{
+		Rate:      50 * units.MbitPerSec,
+		Buffer:    units.BDP(50*units.MbitPerSec, 40*sim.Millisecond),
+		Flows:     UniformFlows(4, "reno", 20*sim.Millisecond),
+		Warmup:    2 * sim.Second,
+		Duration:  8 * sim.Second,
+		Stagger:   sim.Second,
+		Seed:      7,
+		Collector: coll,
+	}
+}
+
+// TestTelemetryDoesNotPerturbRun is the package-level statement of the
+// observability-never-perturbs guarantee: the full RunResult must be
+// identical with and without a live collector. cmd/fprint re-verifies
+// this across CCAs and impairments at the CLI level.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	plain, err := Run(telemetryTestConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(telemetryTestConfig(newCountingCollector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The echoed config carries the collector itself and usage carries
+	// wall-clock time; neither is simulation outcome.
+	plain.Config.Collector, observed.Config.Collector = nil, nil
+	plain.Usage.Wall, observed.Usage.Wall = 0, 0
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("attaching a collector changed the result:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}
+
+func TestTelemetryEventAccounting(t *testing.T) {
+	coll := newCountingCollector()
+	res, err := Run(telemetryTestConfig(coll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Flows)
+	if got := coll.counts[telemetry.KindRunStart]; got != 1 {
+		t.Errorf("run-start events = %d, want 1", got)
+	}
+	if got := coll.counts[telemetry.KindRunEnd]; got != 1 {
+		t.Errorf("run-end events = %d, want 1", got)
+	}
+	if got := coll.counts[telemetry.KindFlowStart]; got != n {
+		t.Errorf("flow-start events = %d, want %d", got, n)
+	}
+	if got := coll.counts[telemetry.KindFlowEnd]; got != n {
+		t.Errorf("flow-end events = %d, want %d", got, n)
+	}
+	// Flow stats count episodes inside the measurement window; telemetry
+	// sees the whole run including warmup, so it can only report more.
+	var episodes int
+	for _, f := range res.Flows {
+		episodes += int(f.FastRecoveries + f.RTOs)
+	}
+	if got := coll.counts[telemetry.KindLoss]; got < episodes {
+		t.Errorf("loss events = %d, want at least window FastRecoveries+RTOs = %d", got, episodes)
+	}
+	if episodes == 0 {
+		t.Error("test regime produced no loss episodes; accounting not exercised")
+	}
+	if fr := coll.counts[telemetry.KindRecoveryExit]; fr == 0 {
+		t.Error("no recovery-exit events emitted")
+	}
+	// Sampling shares the interrupt hook, which must have fired over an
+	// 8-virtual-second run.
+	if got := coll.counts[telemetry.KindEngineSample]; got == 0 {
+		t.Error("no engine samples emitted")
+	}
+	if got := coll.counts[telemetry.KindQueueWatermark]; got == 0 {
+		t.Error("no queue watermark emitted despite a lossy run")
+	}
+}
+
+func TestTelemetryBBRStateTransitions(t *testing.T) {
+	cfg := telemetryTestConfig(nil)
+	cfg.Flows = UniformFlows(2, "bbr", 20*sim.Millisecond)
+	coll := newCountingCollector()
+	cfg.Collector = coll
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := coll.counts[telemetry.KindCCAState]; got == 0 {
+		t.Fatal("BBR run emitted no state transitions")
+	}
+	for _, ev := range coll.events {
+		if ev.Kind != telemetry.KindCCAState {
+			continue
+		}
+		if ev.Prev == "" || ev.Label == "" || ev.Prev == ev.Label {
+			t.Fatalf("malformed transition event: %+v", ev)
+		}
+		if ev.CCA != "bbr" {
+			t.Fatalf("transition from unexpected CCA: %+v", ev)
+		}
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("test deadline"))
+	cfg := telemetryTestConfig(nil)
+	cfg.Duration = 2 * sim.Minute
+	_, err := RunCtx(ctx, cfg)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("cancellation should surface as *RunError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "run canceled") || !strings.Contains(err.Error(), "test deadline") {
+		t.Fatalf("error should name the cancellation cause: %v", err)
+	}
+}
+
+func TestSweepEmitsAdmissionDegradation(t *testing.T) {
+	coll := newCountingCollector()
+	cfg := telemetryTestConfig(nil)
+	// Price the budget between the tier-1 and tier-0 estimates, so
+	// admission must degrade exactly once before the config fits.
+	est0 := EstimateConfig(cfg).Events
+	est1 := EstimateConfig(DegradeTier(cfg, 1)).Events
+	if est1 >= est0 {
+		t.Skipf("tier 1 does not shrink the estimate (%d vs %d)", est1, est0)
+	}
+	res, err := RunManyCtx(context.Background(), []RunConfig{cfg}, SweepOptions{
+		Collector: coll,
+		Budget:    &budget.Budget{Events: est1},
+		Retries:   3,
+	})
+	if err != nil {
+		var be *budget.BudgetError
+		if errors.As(err, &be) {
+			t.Fatalf("config should have been admitted at tier 1, got %v", be)
+		}
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+	if got := coll.counts[telemetry.KindDegraded]; got == 0 {
+		t.Error("no degraded event emitted for an over-budget admission")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
 
@@ -40,6 +41,10 @@ type OutageConfig struct {
 	HoldCapacity units.ByteCount
 	// OnDrop observes outage drops; may be nil.
 	OnDrop DropFunc
+	// Telemetry receives link-down/link-up events bracketing each
+	// window (nil = off). Transitions are detected lazily at packet
+	// observation points but stamped with the exact window boundaries.
+	Telemetry telemetry.Collector
 }
 
 // Flaps builds a periodic flap schedule: count outages of length down,
@@ -72,6 +77,9 @@ type Outage struct {
 	held      []packet.Packet
 	heldBytes units.ByteCount
 	dropWire  units.ByteCount
+
+	telIdx  int  // first window whose link-up is still unannounced
+	telDown bool // current window's link-down emitted
 
 	passed  uint64
 	dropped uint64
@@ -120,9 +128,43 @@ func (o *Outage) Dark(t sim.Time) bool {
 	return o.idx < len(o.cfg.Windows) && t >= o.cfg.Windows[o.idx].Start
 }
 
+// noteTransitions emits any link-down/link-up events implied by the
+// schedule positions crossed since the last observation. Events carry
+// the exact window boundary as their timestamp, A = window index, and
+// B = window length in virtual nanoseconds.
+func (o *Outage) noteTransitions(dark bool) {
+	for o.telIdx < o.idx {
+		w := o.cfg.Windows[o.telIdx]
+		if !o.telDown {
+			o.cfg.Telemetry.Emit(telemetry.Event{
+				Time: w.Start, Kind: telemetry.KindLinkDown,
+				Flow: -1, A: int64(o.telIdx), B: int64(w.End - w.Start),
+			})
+		}
+		o.cfg.Telemetry.Emit(telemetry.Event{
+			Time: w.End, Kind: telemetry.KindLinkUp,
+			Flow: -1, A: int64(o.telIdx), B: int64(w.End - w.Start),
+		})
+		o.telIdx++
+		o.telDown = false
+	}
+	if dark && !o.telDown {
+		w := o.cfg.Windows[o.idx]
+		o.cfg.Telemetry.Emit(telemetry.Event{
+			Time: w.Start, Kind: telemetry.KindLinkDown,
+			Flow: -1, A: int64(o.idx), B: int64(w.End - w.Start),
+		})
+		o.telDown = true
+	}
+}
+
 // Send offers one packet to the link.
 func (o *Outage) Send(p packet.Packet) {
-	if !o.Dark(o.eng.Now()) {
+	dark := o.Dark(o.eng.Now())
+	if o.cfg.Telemetry != nil {
+		o.noteTransitions(dark)
+	}
+	if !dark {
 		o.passed++
 		o.out(p)
 		return
@@ -143,6 +185,9 @@ func (o *Outage) Send(p packet.Packet) {
 
 // flush releases every held packet in arrival order.
 func (o *Outage) flush() {
+	if o.cfg.Telemetry != nil {
+		o.noteTransitions(o.Dark(o.eng.Now()))
+	}
 	held := o.held
 	o.held = nil
 	o.heldBytes = 0

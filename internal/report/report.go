@@ -3,9 +3,12 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"ccatscale/internal/schema"
 )
 
 // Table is a simple column-aligned text table.
@@ -140,6 +143,48 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// JSONTable is the versioned JSON rendering of a Table. The
+// schema_version field is shared with reproduce manifests and the
+// telemetry stream; consumers gate on its major component (see
+// internal/schema).
+type JSONTable struct {
+	SchemaVersion string     `json:"schema_version"`
+	Title         string     `json:"title,omitempty"`
+	Headers       []string   `json:"headers"`
+	Rows          [][]string `json:"rows"`
+	Notes         []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the table as a versioned JSON document.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := JSONTable{
+		SchemaVersion: schema.Version,
+		Title:         t.Title,
+		Headers:       t.Headers,
+		Rows:          t.Rows,
+		Notes:         t.Notes,
+	}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a versioned JSON table, rejecting documents whose
+// schema major version this build does not understand.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var doc JSONTable
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("report: parsing JSON table: %w", err)
+	}
+	if err := schema.Check(doc.SchemaVersion); err != nil {
+		return nil, err
+	}
+	return &Table{Title: doc.Title, Headers: doc.Headers, Rows: doc.Rows, Notes: doc.Notes}, nil
 }
 
 // Pct formats a fraction as a percentage string.

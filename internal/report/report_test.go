@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -69,5 +70,49 @@ func TestFormatFloatRanges(t *testing.T) {
 func TestPct(t *testing.T) {
 	if got := Pct(0.425); got != "42.5%" {
 		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestJSONTableRoundTrip(t *testing.T) {
+	tab := NewTable("Round trip", "a", "b")
+	tab.AddRow("x", 1.5)
+	tab.AddRow("y", 2)
+	tab.AddNote("fidelity tier %d", 1)
+
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version"`) {
+		t.Fatalf("JSON table carries no schema version:\n%s", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != tab.Title || !reflect.DeepEqual(got.Headers, tab.Headers) ||
+		!reflect.DeepEqual(got.Rows, tab.Rows) || !reflect.DeepEqual(got.Notes, tab.Notes) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", tab, got)
+	}
+}
+
+func TestJSONTableEmptyRowsSerializeAsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable("empty", "a").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows": []`) {
+		t.Fatalf("empty table should serialize rows as [], got:\n%s", buf.String())
+	}
+}
+
+func TestReadJSONRejectsUnknownMajor(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"schema_version":"99.0","headers":["a"],"rows":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "major 99") {
+		t.Fatalf("unknown major should be rejected, got %v", err)
+	}
+	_, err = ReadJSON(strings.NewReader(`{"headers":["a"],"rows":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("missing version should be rejected, got %v", err)
 	}
 }

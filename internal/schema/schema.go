@@ -1,0 +1,66 @@
+// Package schema versions the JSON shapes this repository emits — the
+// reproduce manifest, table JSON, and the telemetry event stream — so
+// tools that read them (cmd/fprint, cmd/tracestat, external analysis)
+// can reject a shape they do not understand instead of silently
+// fingerprinting or mis-parsing it.
+//
+// Versions are "major.minor" strings. The major component gates
+// compatibility: a reader accepts any minor revision of its own major
+// (minors only add fields) and must refuse everything else. Every
+// top-level JSON document carries the version in a "schema_version"
+// field.
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is the schema version this build writes into every JSON
+// document it emits.
+//
+// History:
+//
+//	1.0 — first versioned shapes: manifest.json gains schema_version,
+//	      table JSON (report.Table.WriteJSON), telemetry JSONL header.
+const Version = "1.0"
+
+// Field is the canonical JSON key carrying the version.
+const Field = "schema_version"
+
+// Major returns the major component of a "major.minor" version string,
+// or an error for anything else.
+func Major(v string) (int, error) {
+	head, _, found := strings.Cut(v, ".")
+	if !found {
+		return 0, fmt.Errorf("schema: version %q is not major.minor", v)
+	}
+	m, err := strconv.Atoi(head)
+	if err != nil || m < 0 {
+		return 0, fmt.Errorf("schema: version %q has a non-numeric major", v)
+	}
+	return m, nil
+}
+
+// Check accepts a document version this build can read: same major as
+// Version, any minor. It returns a descriptive error otherwise — the
+// error readers are required to surface instead of proceeding.
+func Check(v string) error {
+	if v == "" {
+		return fmt.Errorf("schema: document carries no %s field (pre-versioning shape, or not a result document)", Field)
+	}
+	docMajor, err := Major(v)
+	if err != nil {
+		return err
+	}
+	ownMajor, err := Major(Version)
+	if err != nil {
+		return err
+	}
+	if docMajor != ownMajor {
+		return fmt.Errorf("schema: document version %s has major %d, this build reads major %d (%s); refusing to parse a shape it may misread",
+			v, docMajor, ownMajor, Version)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMajor(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"1.0", 1, false},
+		{"2.17", 2, false},
+		{"0.9", 0, false},
+		{"1", 0, true},
+		{"", 0, true},
+		{"x.0", 0, true},
+		{"-1.0", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := Major(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("Major(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Major(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCheckOwnVersion(t *testing.T) {
+	if err := Check(Version); err != nil {
+		t.Fatalf("a build must accept its own version: %v", err)
+	}
+	// Any minor revision of the same major is readable.
+	maj, err := Major(Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(strings.TrimRight(Version, "0123456789") + "999"); err != nil {
+		t.Fatalf("minor revisions of major %d must pass: %v", maj, err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		in, wantErr string
+	}{
+		{"", "no schema_version field"},
+		{"99.0", "major 99"},
+		{"bogus", "not major.minor"},
+	}
+	for _, tc := range cases {
+		err := Check(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Check(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"ccatscale/internal/cca"
 	"ccatscale/internal/packet"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	// per-ACK sequence/pipe/timer checks plus a periodic full SACK
 	// scoreboard recount.
 	Audit *audit.Auditor
+	// Telemetry receives the flow's lifecycle and loss/recovery episode
+	// events (nil = off; the nil path is branch-identical to an
+	// uninstrumented sender).
+	Telemetry telemetry.Collector
 }
 
 // Sender is the data-source side of a simulated TCP connection,
@@ -133,6 +138,9 @@ type Sender struct {
 	aud      *audit.Auditor
 	ackCount uint64
 
+	// Telemetry collector (nil = off).
+	tel telemetry.Collector
+
 	// Finite-transfer state: endSeg is the segment count of the
 	// transfer (0 = infinite); completed latches OnComplete.
 	endSeg     int64
@@ -163,6 +171,7 @@ func NewSender(eng *sim.Engine, flow int32, cfg Config) *Sender {
 		cc:     cfg.CCA,
 		window: newSendWindow(mss),
 		aud:    cfg.Audit,
+		tel:    cfg.Telemetry,
 	}
 	s.rtoTimer = sim.NewTimer(eng, s.onRTO)
 	s.paceTimer = sim.NewTimer(eng, s.trySend)
@@ -183,6 +192,12 @@ func (s *Sender) Done() bool { return s.completed }
 func (s *Sender) Start(at sim.Time) {
 	s.eng.Schedule(at, func() {
 		s.started = true
+		if s.tel != nil {
+			s.tel.Emit(telemetry.Event{
+				Time: s.eng.Now(), Kind: telemetry.KindFlowStart,
+				Flow: s.flow, CCA: s.cc.Name(), A: int64(s.cc.Cwnd()),
+			})
+		}
 		s.trySend()
 	})
 }
@@ -394,7 +409,18 @@ func (s *Sender) enterRecovery(now sim.Time) {
 	s.recoveryPoint = s.window.Nxt()
 	s.stats.FastRecoveries++
 	flightSize := s.window.Pipe()
+	var priorCwnd units.ByteCount
+	if s.tel != nil {
+		priorCwnd = s.cc.Cwnd()
+	}
 	s.cc.OnEnterRecovery(now, flightSize)
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Time: now, Kind: telemetry.KindLoss,
+			Flow: s.flow, CCA: s.cc.Name(), Label: "fast-recovery",
+			A: int64(priorCwnd), B: int64(flightSize),
+		})
+	}
 	if s.usePRR {
 		s.prrDelivered = 0
 		s.prrOut = 0
@@ -412,6 +438,12 @@ func (s *Sender) exitRecovery(now sim.Time) {
 	s.dupAcks = 0
 	s.prrBudget = 0
 	s.cc.OnExitRecovery(now)
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Time: now, Kind: telemetry.KindRecoveryExit,
+			Flow: s.flow, CCA: s.cc.Name(), A: int64(s.cc.Cwnd()),
+		})
+	}
 }
 
 // updatePRR computes this ACK's transmission allowance (RFC 6937).
@@ -511,10 +543,22 @@ func (s *Sender) onRTO() {
 	}
 	s.stats.RTOs++
 	s.rtoBackoff++
+	var priorCwnd, pipe units.ByteCount
+	if s.tel != nil {
+		priorCwnd = s.cc.Cwnd()
+		pipe = s.window.Pipe()
+	}
 	s.window.MarkAllLost()
 	s.inRecovery = false
 	s.dupAcks = 0
 	s.cc.OnRTO(s.eng.Now())
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Time: s.eng.Now(), Kind: telemetry.KindLoss,
+			Flow: s.flow, CCA: s.cc.Name(), Label: "rto",
+			A: int64(priorCwnd), B: int64(pipe),
+		})
+	}
 	// Timeout suspends pacing for the retransmission burst decision;
 	// the next ACK re-establishes the pacing clock.
 	s.nextSendTime = 0

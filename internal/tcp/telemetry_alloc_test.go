@@ -1,0 +1,76 @@
+package tcp
+
+import (
+	"testing"
+
+	"ccatscale/internal/cca"
+	"ccatscale/internal/netem"
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/telemetry"
+	"ccatscale/internal/units"
+)
+
+// newTelemetryNet is newTestNet with a collector attached to every
+// sender — the enabled-telemetry counterpart of the alloc-budget nets.
+func newTelemetryNet(t *testing.T, rate units.Bandwidth, buffer units.ByteCount,
+	rtts []sim.Time, ccas []cca.CCA, coll telemetry.Collector) *testNet {
+	t.Helper()
+	n := &testNet{eng: sim.NewEngine()}
+	n.db = netem.NewDumbbell(n.eng, netem.DumbbellConfig{
+		Rate:   rate,
+		Buffer: buffer,
+		RTT:    rtts,
+		OnDrop: func(_ sim.Time, _ packet.Packet) { n.drops++ },
+	})
+	for i := range rtts {
+		flow := int32(i)
+		n.senders = append(n.senders, NewSender(n.eng, flow, Config{
+			CCA:       ccas[i],
+			Output:    n.db.SendData,
+			Telemetry: coll,
+		}))
+		n.receivers = append(n.receivers, NewReceiver(n.eng, flow,
+			ReceiverConfig{DelAckDelay: DelayedAckTimeout}, n.db.SendAck))
+	}
+	n.db.SetEndpoints(
+		func(p packet.Packet) { n.receivers[p.Flow].OnData(p) },
+		func(p packet.Packet) { n.senders[p.Flow].OnAck(p) },
+	)
+	return n
+}
+
+// TestTelemetryKeepsSteadyStateAllocBudget meters the same steady-state
+// window as TestSteadyStateFlowAllocBudget, but with a live collector
+// attached. Events are flat value types handed to the collector by
+// value, so an enabled pipeline must fit the same per-window allocation
+// budget as a disabled one — the nil path is covered by the original
+// test, whose Config leaves Telemetry nil.
+func TestTelemetryKeepsSteadyStateAllocBudget(t *testing.T) {
+	var events int64
+	count := &events
+	coll := telemetry.CollectorFunc(func(ev telemetry.Event) { *count++ })
+
+	rate := 50 * units.MbitPerSec
+	// The small buffer forces periodic loss, so the KindLoss emission
+	// path runs inside the metered window.
+	n := newTelemetryNet(t, rate, units.BDP(rate, 40*sim.Millisecond),
+		[]sim.Time{20 * sim.Millisecond}, []cca.CCA{cca.NewReno(units.MSS)}, coll)
+	n.start()
+	n.eng.Run(5 * sim.Second)
+	if events == 0 {
+		t.Fatal("collector saw no events during warmup; emission sites not wired")
+	}
+
+	const window = 100 * sim.Millisecond
+	allocs := testing.AllocsPerRun(20, func() {
+		n.eng.Run(n.eng.Now() + window)
+	})
+	// Same tripwire as the nil-collector budget: telemetry must not add
+	// per-event garbage.
+	const budget = 32.0
+	if allocs > budget {
+		t.Fatalf("telemetry-enabled flow allocates %.1f objects per %v window (budget %.0f)",
+			allocs, window, budget)
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"ccatscale/internal/schema"
+)
+
+// StreamHeader is the first line of a telemetry JSONL stream. It is the
+// only line carrying the schema version; every following line is one
+// event record.
+type StreamHeader struct {
+	SchemaVersion string `json:"schema_version"`
+	Kind          string `json:"k"` // always "header"
+	Tool          string `json:"tool"`
+	Label         string `json:"label,omitempty"`
+}
+
+// StreamRecord is one serialized event line. The generic A/B payload
+// carries the kind-specific numbers documented on the Kind constants
+// (queue-watermark: bytes/packets; loss: cwnd/in-flight; run-end:
+// events/goodput-bps; …).
+type StreamRecord struct {
+	Kind  string  `json:"k"`
+	Run   string  `json:"run,omitempty"`
+	T     float64 `json:"t"` // virtual seconds
+	Flow  int32   `json:"flow"`
+	CCA   string  `json:"cca,omitempty"`
+	Label string  `json:"label,omitempty"`
+	Prev  string  `json:"prev,omitempty"`
+	A     int64   `json:"a"`
+	B     int64   `json:"b"`
+}
+
+// Stream serializes telemetry events as JSON Lines: one header record,
+// then one object per event. It is safe for concurrent emitters (a
+// parallel sweep funnels every run's events through one stream); lines
+// are written atomically under a mutex through a buffered writer, so
+// interleaved runs never corrupt each other's records.
+//
+// Write errors are sticky: the first error latches, later emissions
+// become no-ops, and Close reports it — a full disk degrades telemetry,
+// never the experiment.
+type Stream struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewStream wraps w and writes the stream header. label is free-form
+// provenance (e.g. the sweep's command line) recorded in the header.
+func NewStream(w io.Writer, label string) (*Stream, error) {
+	s := &Stream{w: bufio.NewWriterSize(w, 64<<10)}
+	hdr, err := json.Marshal(StreamHeader{
+		SchemaVersion: schema.Version,
+		Kind:          "header",
+		Tool:          "ccatscale",
+		Label:         label,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.w.Write(append(hdr, '\n')); err != nil {
+		return nil, fmt.Errorf("telemetry: writing stream header: %w", err)
+	}
+	return s, nil
+}
+
+// Collector returns a collector that tags every event with the given
+// run label before serializing it to the stream. Multiple collectors
+// from one stream may emit concurrently.
+func (s *Stream) Collector(run string) Collector {
+	return &streamCollector{s: s, run: run}
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *Stream) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the sticky write error, if any.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Stream) emit(run string, ev Event) {
+	rec := StreamRecord{
+		Kind:  ev.Kind.String(),
+		Run:   run,
+		T:     ev.Time.Seconds(),
+		Flow:  ev.Flow,
+		CCA:   ev.CCA,
+		Label: ev.Label,
+		Prev:  ev.Prev,
+		A:     ev.A,
+		B:     ev.B,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil { // flat struct of scalars; cannot fail, but stay honest
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+type streamCollector struct {
+	s   *Stream
+	run string
+}
+
+func (c *streamCollector) Emit(ev Event) { c.s.emit(c.run, ev) }
+
+// ParseStream reads a telemetry JSONL stream: it validates the header's
+// schema version (rejecting unknown majors with the schema package's
+// error) and invokes fn for each event record. Blank lines are skipped.
+func ParseStream(r io.Reader, fn func(StreamRecord) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if !sawHeader {
+			var hdr StreamHeader
+			if err := json.Unmarshal(raw, &hdr); err != nil {
+				return fmt.Errorf("telemetry: line %d: %w", line, err)
+			}
+			if hdr.Kind != "header" {
+				return fmt.Errorf("telemetry: line %d: stream does not start with a header record", line)
+			}
+			if err := schema.Check(hdr.SchemaVersion); err != nil {
+				return err
+			}
+			sawHeader = true
+			continue
+		}
+		var rec StreamRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawHeader {
+		return fmt.Errorf("telemetry: empty stream (no header record)")
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package ccatscale
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// oldPositionalConfig matches the pre-options call form
+// Setting.Config(flows, seed), replaced by Build(flows, WithSeed(s)).
+// The deprecated method still works — internal callers may keep it —
+// but everything a user reads (examples, the README, the root package's
+// docs and testable examples) must show the current API.
+var oldPositionalConfig = regexp.MustCompile(`\.Config\(`)
+
+func TestPublicSurfacesUseOptionsAPI(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir("examples", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, "README.md", "example_test.go", "ccatscale.go", "options.go")
+
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if oldPositionalConfig.MatchString(line) {
+				t.Errorf("%s:%d: uses the deprecated positional Config(flows, seed); "+
+					"show Build(flows, WithSeed(...)) instead:\n\t%s", name, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}
