@@ -48,6 +48,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ccatscale/internal/store"
 )
 
 type benchResult struct {
@@ -143,7 +145,11 @@ func main() {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	// Atomic commit (temp file, fsync, rename, directory fsync): a
+	// baseline file read-modify-written by CI must never be torn by a
+	// crash mid-write — a corrupt baseline silently disarms the
+	// regression gate.
+	if err := store.WriteFileAtomic(*out, enc); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ccbench: wrote %d benchmarks under %q to %s\n", len(benches), *label, *out)

@@ -14,10 +14,19 @@
 //	                       telemetry JSONL stream) against this build's
 //	                       result schema, rejecting unknown major
 //	                       versions with a clear error.
+//	fprint -store DIR      fingerprint a sweep's content-addressed
+//	                       result store: one sha256 over every record's
+//	                       key and CRC-verified payload, in key order.
+//	                       Two stores fingerprint equal iff they hold
+//	                       byte-identical results — the check the
+//	                       crash-injection CI smoke uses to prove a
+//	                       killed-and-resumed sweep equals an
+//	                       uninterrupted one.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +35,7 @@ import (
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/store"
 	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
@@ -33,10 +43,18 @@ import (
 func main() {
 	withTelemetry := flag.Bool("telemetry", false, "attach a telemetry collector to every run (output must not change)")
 	checkFile := flag.String("check", "", "validate a JSON table or telemetry JSONL file against the result schema and exit")
+	storeDir := flag.String("store", "", "fingerprint the content-addressed result store in this directory and exit")
 	flag.Parse()
 
 	if *checkFile != "" {
 		if err := checkArtifact(*checkFile); err != nil {
+			fmt.Fprintf(os.Stderr, "fprint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storeDir != "" {
+		if err := fingerprintStore(*storeDir); err != nil {
 			fmt.Fprintf(os.Stderr, "fprint: %v\n", err)
 			os.Exit(1)
 		}
@@ -92,6 +110,33 @@ func checkArtifact(path string) error {
 		return err
 	}
 	fmt.Printf("%s: table ok (%d columns, %d rows)\n", path, len(t.Headers), len(t.Rows))
+	return nil
+}
+
+// fingerprintStore prints one line per store record (key and payload
+// digest) and a final combined fingerprint over all of them in key
+// order. Get verifies each record's CRC frame, so a torn or bit-rotted
+// record fails the fingerprint loudly instead of hashing garbage.
+func fingerprintStore(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		return err
+	}
+	all := sha256.New()
+	for _, key := range keys {
+		payload, err := st.Get(key)
+		if err != nil {
+			return fmt.Errorf("record %s: %w", key, err)
+		}
+		sum := sha256.Sum256(payload)
+		fmt.Printf("%s: sha256=%x bytes=%d\n", key, sum, len(payload))
+		fmt.Fprintf(all, "%s %x\n", key, sum)
+	}
+	fmt.Printf("store: records=%d fingerprint=%x\n", len(keys), all.Sum(nil))
 	return nil
 }
 

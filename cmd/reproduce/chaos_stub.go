@@ -1,0 +1,10 @@
+//go:build !chaos
+
+package main
+
+import "ccatscale/internal/store"
+
+// sweepFS returns the filesystem the sweep's durability protocol runs
+// on. The default build uses the real one; the -tags chaos build wraps
+// it with the crash-injection harness (see chaos_enabled.go).
+func sweepFS() store.FS { return store.OSFS() }

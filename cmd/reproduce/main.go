@@ -26,6 +26,21 @@
 // remaining jobs still run. A later invocation with -resume re-executes
 // only the jobs that have not completed.
 //
+// The sweep is also crash-safe. Every job's outcome is committed to an
+// fsync-per-record write-ahead journal (journal-<owner>.jsonl) and its
+// result table to a content-addressed store (store/<job>-<seed>-<hash>.rec,
+// CRC-framed, written tmp→fsync→rename→dirsync) before the manifest — a
+// derived view — is updated. A sweep killed at any instant, kill -9
+// included, resumes to its exact pre-crash frontier: committed jobs are
+// served from the store without recomputation, the one in flight
+// re-runs, and duplicate commits after a worker race are no-ops because
+// the simulations are deterministic and the store is idempotent. Jobs
+// are claimed through heartbeat leases (-lease-ttl), so several
+// `reproduce -resume` processes pointed at one -out directory shard the
+// sweep between them, and -workers runs that many claim loops inside
+// one process. A worker that loses its lease to takeover has its job's
+// context cancelled mid-run.
+//
 // -mem-budget and -event-budget bound every run's footprint: a job the
 // estimator prices over budget is recorded as "rejected" (not failed —
 // the sweep still exits zero) and a later -resume retries it one
@@ -36,6 +51,9 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +73,7 @@ import (
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/store"
 	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
 )
@@ -94,7 +113,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "print a live sweep status line to stderr (jobs done/running/rejected, estimator ETA, fidelity tier)")
 	telemetryOut := fs.String("telemetry", "", "write a telemetry JSONL stream of every run to this file (analyze with tracestat -telemetry)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and a /metricsz telemetry snapshot on this address (e.g. localhost:6060)")
+	workers := fs.Int("workers", 1, "concurrent lease-claiming worker loops in this process (start more `reproduce -resume` processes on the same -out to shard across processes)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "job lease staleness deadline: a claim whose heartbeat is older may be taken over by another worker")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintln(stderr, "reproduce: -workers must be at least 1")
+		return 2
+	}
+	if *leaseTTL <= 0 {
+		fmt.Fprintln(stderr, "reproduce: -lease-ttl must be positive")
 		return 2
 	}
 
@@ -139,12 +168,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		onlyRE = re
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	// All durable sweep state — manifest, journal, store, leases — goes
+	// through one FS seam so the chaos build can crash the process at
+	// any syscall boundary of the protocol.
+	fsys := sweepFS()
+	if err := fsys.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(stderr, "reproduce:", err)
 		return 1
 	}
 
-	man, err := loadManifest(*out)
+	man, err := loadManifestFS(fsys, *out)
 	if err != nil {
 		fmt.Fprintln(stderr, "reproduce:", err)
 		return 1
@@ -238,6 +271,62 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	)
 
 	hash := configHash(*seed, *scale, *quick, jobs)
+	keys := make(map[string]string, len(jobs))
+	for _, j := range jobs {
+		keys[j.name] = jobKey(j.name, *seed, j.setting)
+	}
+
+	// Durable sweep state. The journal is the record: replaying every
+	// segment rebuilds the per-job frontier (derived) exactly as it was
+	// before any crash, and the manifest becomes a derived view of it.
+	// Outcome records are admitted only when their content key matches
+	// this binary's job definitions, so leftovers from an older
+	// experiment in the same directory cannot masquerade as progress.
+	owner := fmt.Sprintf("%s-%d", hostname(), os.Getpid())
+	st, err := store.OpenFS(filepath.Join(*out, "store"), fsys)
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+	derived := map[string]*jobRecord{}
+	var lastBegin *beginDetail
+	jnl, _, err := store.OpenJournalSet(fsys, *out, owner, func(r store.JournalRecord) error {
+		switch r.Op {
+		case store.OpBegin:
+			var bd beginDetail
+			if json.Unmarshal(r.Detail, &bd) == nil {
+				lastBegin = &bd
+			}
+		case store.OpDone, store.OpCached, store.OpFailed, store.OpRejected:
+			if keys[r.Job] == "" || r.Key != keys[r.Job] {
+				return nil
+			}
+			var rec jobRecord
+			if json.Unmarshal(r.Detail, &rec) != nil || rec.Status == "" {
+				return nil
+			}
+			if better(derived[r.Job], &rec) {
+				derived[r.Job] = &rec
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+	defer jnl.Close()
+	leases, err := store.NewLeasesFS(fsys, *out, owner, *leaseTTL)
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+
+	if *resume && man == nil && lastBegin != nil {
+		// The manifest was lost or quarantined as corrupt: rebuild the
+		// view from the journal's begin record and replayed outcomes.
+		man = newManifest(lastBegin.Seed, lastBegin.Scale, lastBegin.Quick, lastBegin.ConfigHash)
+	}
 	if *resume && man != nil {
 		if err := man.compatible(*seed, *scale, *quick, hash); err != nil {
 			if !*force {
@@ -251,6 +340,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if !*resume || man == nil {
 		man = newManifest(*seed, *scale, *quick, hash)
+	}
+	if *resume {
+		// The journal outlives any manifest write: overlay its frontier.
+		for name, rec := range derived {
+			man.Jobs[name] = rec
+		}
+	}
+
+	bd, _ := json.Marshal(beginDetail{Seed: *seed, Scale: *scale, Quick: *quick, ConfigHash: hash})
+	if err := jnl.Append(store.JournalRecord{Op: store.OpBegin, Owner: owner, Detail: bd}); err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
 	}
 
 	// Live telemetry surfaces: a JSONL stream file, a metrics registry
@@ -297,16 +398,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		defer pt.finish()
 	}
 
-	injected := false
-	var failed, rejected []string
-	ran := 0
-	for _, j := range toRun {
+	// The claim loop. mu guards everything the workers share: the
+	// manifest, the journal (single writer per segment), the counters,
+	// and the output writers.
+	var (
+		mu       sync.Mutex
+		injected bool
+		failed   []string
+		rejected []string
+		held     []string
+		ran      int
+		fatalErr error
+	)
+	commit := func(j job, key string, op string, rec *jobRecord) {
+		detail, _ := json.Marshal(rec)
+		if err := jnl.Append(store.JournalRecord{Op: op, Job: j.name, Key: key, Owner: owner, Detail: detail}); err != nil && fatalErr == nil {
+			fatalErr = err
+		}
+		man.Jobs[j.name] = rec
+		if err := man.saveFS(fsys, *out); err != nil && fatalErr == nil {
+			fatalErr = err
+		}
+	}
+	doJob := func(j job) {
+		mu.Lock()
+		if fatalErr != nil {
+			mu.Unlock()
+			return
+		}
 		if *resume && man.done(*out, j.name) {
 			fmt.Fprintf(stdout, "%-24s %8s  (already done, skipped)\n", j.name, "resume")
 			if pt != nil {
 				pt.jobEnded(j.name, "done")
 			}
-			continue
+			mu.Unlock()
+			return
 		}
 		if *resume {
 			// A rejected job resumes one fidelity tier lower: less
@@ -325,6 +451,51 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			j.setting.FaultPanicAt = sim.Second
 			injected = true
 		}
+		mu.Unlock()
+
+		key := keys[j.name]
+		// Serve a committed result from the content-addressed store: the
+		// simulations are deterministic, so identical bytes come back
+		// without recomputation — this is what makes a crashed sweep's
+		// resume converge on the uninterrupted sweep's exact outputs.
+		if *resume && *panicJob != j.name && st.Has(key) {
+			if rec, err := serveCached(fsys, st, *out, j.name, key, *seed); err == nil {
+				mu.Lock()
+				commit(j, key, store.OpCached, rec)
+				fmt.Fprintf(stdout, "%-24s %8s  → %s  (cached)\n",
+					j.name, "store", filepath.Join(*out, rec.File))
+				if pt != nil {
+					pt.jobEnded(j.name, "done")
+				}
+				mu.Unlock()
+				return
+			}
+			// A record that fails to serve (quarantined as corrupt mid-read,
+			// view write failed) falls through to honest recomputation.
+		}
+
+		lease, err := leases.Acquire(j.name)
+		if errors.Is(err, store.ErrLeaseHeld) {
+			mu.Lock()
+			held = append(held, j.name)
+			fmt.Fprintf(stdout, "%-24s %8s  (%v)\n", j.name, "lease", err)
+			if pt != nil {
+				pt.jobEnded(j.name, "held")
+			}
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		if err == nil {
+			err = jnl.Append(store.JournalRecord{Op: store.OpIntent, Job: j.name, Key: key, Owner: owner})
+		}
+		if err != nil {
+			if fatalErr == nil {
+				fatalErr = err
+			}
+			mu.Unlock()
+			return
+		}
 		if stream != nil || regColl != nil {
 			var sc telemetry.Collector
 			if stream != nil {
@@ -336,17 +507,49 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			pt.jobStarted(j.name, j.setting.Fidelity)
 		}
 		ran++
+		mu.Unlock()
+
+		// Heartbeat until the job ends; lose the lease (this process
+		// stalled past the TTL and another worker took the job) and the
+		// job's context is cancelled so its remaining runs stop.
+		jobCtx, cancelJob := context.WithCancel(context.Background())
+		hbStop := make(chan struct{})
+		var hbDone sync.WaitGroup
+		hbDone.Add(1)
+		go func() {
+			defer hbDone.Done()
+			tick := time.NewTicker(*leaseTTL / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-tick.C:
+					if lease.Heartbeat() != nil || !lease.Confirm() {
+						cancelJob()
+						return
+					}
+				}
+			}
+		}()
+		j.setting.Ctx = jobCtx
+
 		start := time.Now()
 		// Collect per-run resource usage for the job's manifest record.
+		// The sink is per-job (not the process global), so concurrent
+		// workers attribute usage to the job that incurred it.
 		var usageMu sync.Mutex
 		var jobUsage budget.Usage
-		core.SetUsageSink(func(u budget.Usage) {
+		j.setting.UsageSink = func(u budget.Usage) {
 			usageMu.Lock()
 			jobUsage.Merge(u)
 			usageMu.Unlock()
-		})
+		}
 		tab, err := runJob(j)
-		core.SetUsageSink(nil)
+		close(hbStop)
+		hbDone.Wait()
+		cancelJob()
+
 		fileName := j.name + ".txt"
 		jsonName := j.name + ".json"
 		if err == nil {
@@ -354,9 +557,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				tab.AddNote("reduced fidelity: tier %d, series decimation %d× (budget governance)",
 					jobUsage.MaxFidelity, jobUsage.MaxDecimation)
 			}
-			err = writeTable(filepath.Join(*out, fileName), tab, *seed, start, jobUsage.Degraded())
+			// Commit order is the durability contract: the canonical JSON
+			// result enters the content-addressed store first (idempotent —
+			// a duplicate worker's commit is a no-op), then the derived
+			// views (.json verbatim, .txt rendered with its volatile wall
+			// footer), then journal outcome and manifest.
+			var buf bytes.Buffer
+			err = tab.WriteJSON(&buf)
 			if err == nil {
-				err = writeJSONTable(filepath.Join(*out, jsonName), tab)
+				err = st.Put(key, buf.Bytes())
+			}
+			if err == nil {
+				err = store.WriteFileAtomicFS(fsys, filepath.Join(*out, jsonName), buf.Bytes())
+			}
+			if err == nil {
+				err = writeTable(filepath.Join(*out, fileName), tab, *seed, start, jobUsage.Degraded())
 			}
 		}
 		wall := time.Since(start)
@@ -367,12 +582,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			rec.Degraded = u.Degraded()
 			rec.Fidelity = u.MaxFidelity
 		}
+		op := store.OpDone
 		var be *budget.BudgetError
+		mu.Lock()
 		switch {
 		case err != nil && errors.As(err, &be) && be.Stage == budget.StageAdmission:
 			// Admission control refused the job's predicted footprint:
 			// nothing ran, siblings continue, and the sweep still exits
 			// zero — a rejection is governance working, not a failure.
+			op = store.OpRejected
 			rec.Status = "rejected"
 			rec.Error = err.Error()
 			rec.Fidelity = j.setting.Fidelity
@@ -380,6 +598,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-24s %8s  REJECTED (over budget): %v\n",
 				j.name, wall.Round(time.Second), be)
 		case err != nil:
+			op = store.OpFailed
 			rec.Status = "failed"
 			rec.Error = err.Error()
 			var re *core.RunError
@@ -408,11 +627,30 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if pt != nil {
 			pt.jobEnded(j.name, rec.Status)
 		}
-		man.Jobs[j.name] = rec
-		if err := man.save(*out); err != nil {
-			fmt.Fprintln(stderr, "reproduce:", err)
-			return 1
-		}
+		commit(j, key, op, rec)
+		mu.Unlock()
+		lease.Release()
+	}
+
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				doJob(j)
+			}
+		}()
+	}
+	for _, j := range toRun {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if fatalErr != nil {
+		fmt.Fprintln(stderr, "reproduce:", fatalErr)
+		return 1
 	}
 
 	if stream != nil {
@@ -430,6 +668,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *panicJob != "" && !injected {
 		fmt.Fprintf(stderr, "reproduce: -panicjob %q matched no job that ran\n", *panicJob)
 		return 2
+	}
+	if len(held) > 0 {
+		fmt.Fprintf(stdout, "reproduce: %d jobs claimed by other workers: %s\n",
+			len(held), strings.Join(held, ", "))
 	}
 	if len(rejected) > 0 {
 		fmt.Fprintf(stdout, "reproduce: %d of %d jobs rejected over budget: %s\n",
@@ -510,24 +752,73 @@ func writeTable(path string, tab *report.Table, seed uint64, start time.Time, de
 	return nil
 }
 
-// writeJSONTable writes the versioned JSON rendering of a table beside
-// its text form, with the same remove-on-error discipline. The JSON
-// carries schema_version so downstream consumers (fprint -check) can
-// gate on the result schema's major version.
-func writeJSONTable(path string, tab *report.Table) error {
-	f, err := os.Create(path)
+// serveCached materializes a job's output files from its committed
+// store record instead of recomputing: the stored payload is the
+// canonical JSON table, written back verbatim as the .json view and
+// re-rendered as the .txt view. Any error (the record turned out
+// corrupt and was quarantined, a view failed to write) sends the caller
+// back to honest recomputation.
+func serveCached(fsys store.FS, st *store.Store, out, name, key string, seed uint64) (*jobRecord, error) {
+	start := time.Now()
+	payload, err := st.Get(key)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	err = tab.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	tab, err := report.ReadJSON(bytes.NewReader(payload))
 	if err != nil {
-		os.Remove(path)
-		return fmt.Errorf("writing %s: %w", path, err)
+		return nil, err
 	}
-	return nil
+	degraded := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "reduced fidelity") {
+			degraded = true
+		}
+	}
+	jsonName := name + ".json"
+	fileName := name + ".txt"
+	if err := store.WriteFileAtomicFS(fsys, filepath.Join(out, jsonName), payload); err != nil {
+		return nil, err
+	}
+	if err := writeTable(filepath.Join(out, fileName), tab, seed, start, degraded); err != nil {
+		return nil, err
+	}
+	return &jobRecord{
+		Status: "done", File: fileName, JSON: jsonName,
+		Wall:   time.Since(start).Round(time.Millisecond).String(),
+		Cached: true, Degraded: degraded,
+	}, nil
+}
+
+// better reports whether cand should replace cur in the journal-derived
+// job frontier. Outcomes rank done > rejected > failed — a job that
+// eventually committed stays committed no matter what earlier attempts
+// (possibly in other workers' segments, replayed in arbitrary relative
+// order) recorded — and within a rank the later record wins.
+func better(cur, cand *jobRecord) bool {
+	if cur == nil {
+		return true
+	}
+	rank := func(s string) int {
+		switch s {
+		case "done":
+			return 3
+		case "rejected":
+			return 2
+		default:
+			return 1
+		}
+	}
+	return rank(cand.Status) >= rank(cur.Status)
+}
+
+// hostname names this machine for lease ownership and journal segment
+// names, degrading to a constant when the kernel will not say.
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "host"
+	}
+	return h
 }
 
 // writeFailure serializes a RunError next to the results so the failed

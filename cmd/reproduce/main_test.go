@@ -15,6 +15,7 @@ import (
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
 	"ccatscale/internal/sim"
+	"ccatscale/internal/store"
 	"ccatscale/internal/units"
 )
 
@@ -514,5 +515,148 @@ func TestWriteTableChecksErrors(t *testing.T) {
 	// Unwritable path fails loudly instead of being dropped.
 	if err := writeTable(filepath.Join(dir, "no/such/dir/x.txt"), tab, 7, time.Now(), false); err == nil {
 		t.Fatal("writeTable to missing directory succeeded")
+	}
+}
+
+// TestStoreCacheAndManifestRecovery: after a sweep commits a job to the
+// content-addressed store, a resume whose derived views are gone — the
+// output files deleted, the manifest overwritten with garbage — must
+// quarantine the corrupt manifest, rebuild its state from the
+// write-ahead journal, and serve the job's bytes back from the store
+// without recomputing anything.
+func TestStoreCacheAndManifestRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	dir := t.TempDir()
+	base := []string{
+		"-out", dir, "-quick", "-scale", "50", "-seed", "11", "-parallel", "4",
+		"-only", "^ext_churn_core$",
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(base, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skeys, err := st.Keys()
+	if err != nil || len(skeys) != 1 {
+		t.Fatalf("store keys after sweep: %v, %v", skeys, err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "ext_churn_core.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scorch the derived views: outputs gone, manifest torn mid-write.
+	for _, f := range []string{"ext_churn_core.txt", "ext_churn_core.json"} {
+		if err := os.Remove(filepath.Join(dir, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(`{"version": 3, "jo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append(base, "-resume"), &stdout, &stderr); code != 0 {
+		t.Fatalf("resume exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "(cached)") {
+		t.Fatalf("resume recomputed instead of serving the store:\n%s", &stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestFile+".corrupt")); err != nil {
+		t.Fatalf("corrupt manifest not quarantined: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "ext_churn_core.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored JSON differs from the original:\n--- want\n%s--- got\n%s", want, got)
+	}
+	m, err := loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("rebuilt manifest: %v, %v", m, err)
+	}
+	if m.Seed != 11 || m.Scale != 50 || !m.Quick {
+		t.Fatalf("rebuilt manifest lost the sweep parameters: %+v", m)
+	}
+	rec := m.Jobs["ext_churn_core"]
+	if rec == nil || rec.Status != "done" || !rec.Cached {
+		t.Fatalf("rebuilt record not marked cached: %+v", rec)
+	}
+}
+
+// TestLeaseHeldSkipsJob: a job freshly claimed by another live worker is
+// left to it — the sweep reports the job as claimed, runs nothing for
+// it, and still exits zero. This is the multi-process sharding contract.
+func TestLeaseHeldSkipsJob(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := store.NewLeases(dir, "other-host-999", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Acquire("ext_churn_core"); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-out", dir, "-quick", "-scale", "50", "-seed", "11",
+		"-only", "^ext_churn_core$",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "claimed by other workers") {
+		t.Fatalf("stdout missing lease-held report:\n%s", &stdout)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ext_churn_core.txt")); err == nil {
+		t.Fatal("job ran despite a live foreign lease")
+	}
+}
+
+// TestWorkersRunJobs: -workers 2 drains the sweep through two claim
+// loops; every job completes exactly once and the journal holds one
+// intent per executed job.
+func TestWorkersRunJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-out", dir, "-quick", "-scale", "50", "-seed", "11", "-parallel", "2",
+		"-workers", "2", "-only", "^ext_(burstloss|churn)_core$",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	m, err := loadManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest: %v, %v", m, err)
+	}
+	intents := map[string]int{}
+	if _, _, err := store.OpenJournalSet(store.OSFS(), dir, "test-reader", func(r store.JournalRecord) error {
+		if r.Op == store.OpIntent {
+			intents[r.Job]++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ext_burstloss_core", "ext_churn_core"} {
+		if rec := m.Jobs[name]; rec == nil || rec.Status != "done" {
+			t.Fatalf("%s record: %+v", name, rec)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".txt")); err != nil {
+			t.Fatalf("%s output: %v", name, err)
+		}
+		if intents[name] != 1 {
+			t.Fatalf("%s journaled %d intents, want 1", name, intents[name])
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"ccatscale/internal/budget"
 	"ccatscale/internal/core"
 	"ccatscale/internal/schema"
+	"ccatscale/internal/store"
 )
 
 // manifestFile is the checkpoint the sweep keeps in its output
@@ -66,6 +67,9 @@ type jobRecord struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Fidelity is the degradation tier the job ran (or was rejected) at.
 	Fidelity int `json:"fidelity,omitempty"`
+	// Cached marks a job served from the content-addressed store without
+	// recomputation — the counter the exactly-once CI smoke asserts on.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func newManifest(seed uint64, scale int, quick bool, configHash string) *manifest {
@@ -81,9 +85,19 @@ func newManifest(seed uint64, scale int, quick bool, configHash string) *manifes
 }
 
 // loadManifest reads the checkpoint from dir. A missing file returns
-// (nil, nil): nothing to resume.
+// (nil, nil): nothing to resume. A corrupt file is quarantined to
+// manifest.json.corrupt and also returns (nil, nil) — the manifest is a
+// derived view now; the caller rebuilds it from the write-ahead journal,
+// which is the durable record.
 func loadManifest(dir string) (*manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	return loadManifestFS(store.OSFS(), dir)
+}
+
+// loadManifestFS is loadManifest on an explicit FS (the chaos harness
+// substitutes one).
+func loadManifestFS(fs store.FS, dir string) (*manifest, error) {
+	path := filepath.Join(dir, manifestFile)
+	data, err := fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -92,7 +106,13 @@ func loadManifest(dir string) (*manifest, error) {
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("corrupt %s: %w", manifestFile, err)
+		if rerr := fs.Rename(path, path+".corrupt"); rerr != nil && !os.IsNotExist(rerr) {
+			return nil, fmt.Errorf("corrupt %s (%v) and quarantine failed: %v", manifestFile, err, rerr)
+		}
+		if serr := fs.SyncDir(dir); serr != nil {
+			return nil, serr
+		}
+		return nil, nil
 	}
 	if m.Jobs == nil {
 		m.Jobs = map[string]*jobRecord{}
@@ -129,27 +149,21 @@ func (m *manifest) done(dir, name string) bool {
 	return err == nil
 }
 
-// save checkpoints the manifest atomically (temp file + rename), so a
-// sweep killed mid-write never leaves a corrupt checkpoint behind.
+// save checkpoints the manifest with the store's full atomic-commit
+// protocol — temp file, fsync, rename, directory fsync — so a sweep
+// killed at any syscall boundary leaves either the old checkpoint or
+// the new one, both durable, never a torn mix.
 func (m *manifest) save(dir string) error {
+	return m.saveFS(store.OSFS(), dir)
+}
+
+// saveFS is save on an explicit FS.
+func (m *manifest) saveFS(fs store.FS, dir string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, manifestFile+".tmp*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, manifestFile))
+	return store.WriteFileAtomicFS(fs, filepath.Join(dir, manifestFile), append(data, '\n'))
 }
 
 // configHash fingerprints the experiment the job list defines: names
@@ -185,4 +199,41 @@ func configHash(seed uint64, scale int, quick bool, jobs []job) string {
 		return fmt.Sprintf("unhashable: %v", err)
 	}
 	return fmt.Sprintf("%x", sha256.Sum256(data))
+}
+
+// jobKey is the content address of one job's result in the sweep's
+// store: the job name and seed in the clear (for humans listing the
+// store directory) plus a hash of the governance-zeroed setting, so the
+// same experiment always commits to the same key — the idempotence that
+// makes duplicate execution after a lease takeover harmless — while any
+// change to what the job measures moves it to a fresh key.
+func jobKey(name string, seed uint64, s core.Setting) string {
+	s.Budget = nil
+	s.Retries = 0
+	s.Fidelity = 0
+	s.WallLimit = 0
+	s.Telemetry = nil
+	s.Ctx = nil
+	s.UsageSink = nil
+	data, err := json.Marshal(struct {
+		Name    string
+		Seed    uint64
+		Setting core.Setting
+	}{name, seed, s})
+	if err != nil {
+		data = []byte(name)
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s-%d-%x", name, seed, sum[:8])
+}
+
+// beginDetail is the payload of a journal "begin" record: the sweep
+// parameters, durable before any job runs, so resume compatibility can
+// be checked even when the manifest (a derived view) is lost or
+// quarantined.
+type beginDetail struct {
+	Seed       uint64 `json:"seed"`
+	Scale      int    `json:"scale"`
+	Quick      bool   `json:"quick"`
+	ConfigHash string `json:"configHash"`
 }

@@ -133,6 +133,14 @@ type RunConfig struct {
 	// excluded from serialization: a collector is a live attachment, not
 	// part of the experiment's identity.
 	Collector telemetry.Collector `json:"-"`
+	// UsageSink, when non-nil, receives this run's resource usage
+	// instead of the process-global sink installed via SetUsageSink.
+	// Concurrent workers in one process each attach their own sink so
+	// usage attributes to the job that incurred it rather than to
+	// whichever job happened to own the global at the time. Like
+	// Collector it is a live attachment, not part of the experiment's
+	// identity, and is excluded from serialization.
+	UsageSink func(budget.Usage) `json:"-"`
 }
 
 func (c *RunConfig) withDefaults() RunConfig {
@@ -823,7 +831,11 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 			A: int64(eng.Processed()), B: int64(res.AggregateGoodput),
 		})
 	}
-	reportUsage(res.Usage)
+	if cfg.UsageSink != nil {
+		cfg.UsageSink(res.Usage)
+	} else {
+		reportUsage(res.Usage)
+	}
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -72,6 +73,17 @@ type Setting struct {
 	// part of the experiment's identity, and is excluded from
 	// serialization.
 	Telemetry telemetry.Collector `json:"-"`
+	// Ctx, when non-nil, is the context every sweep of the setting runs
+	// under: cancellation stops queued configs and per-job deadlines
+	// propagate into the engine's wall-clock guard. Batch drivers set it
+	// per job (lease loss, worker shutdown); nil means background. A
+	// live attachment like Telemetry, excluded from serialization.
+	Ctx context.Context `json:"-"`
+	// UsageSink routes every run's resource usage to this setting's own
+	// receiver instead of the process-global SetUsageSink — see
+	// RunConfig.UsageSink. A live attachment, excluded from
+	// serialization.
+	UsageSink func(budget.Usage) `json:"-"`
 }
 
 // RTTs are the three base round-trip times every fairness figure sweeps.
@@ -177,6 +189,7 @@ func (s Setting) Build(flows []FlowSpec, opts ...ConfigOption) RunConfig {
 		AuditDrillAt: s.AuditDrillAt,
 		Budget:       s.Budget,
 		Collector:    s.Telemetry,
+		UsageSink:    s.UsageSink,
 	}
 	for _, opt := range opts {
 		opt(&cfg)

@@ -135,18 +135,24 @@ func RunManyCtx(ctx context.Context, cfgs []RunConfig, opt SweepOptions) ([]RunR
 // degradation and reduced-fidelity retries) without changing its
 // signature. Budgets already ride on each RunConfig via Setting.Config.
 func (s Setting) runMany(cfgs []RunConfig, parallelism int) ([]RunResult, error) {
-	return RunManyCtx(context.Background(), cfgs, SweepOptions{
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return RunManyCtx(ctx, cfgs, SweepOptions{
 		Parallelism: parallelism,
 		Retries:     s.Retries,
 	})
 }
 
 // runWithRetry executes one config, retrying retryable failures at
-// progressively degraded fidelity tiers. The backoff doubles per
-// attempt with jitter from an RNG seeded by the config index, so a
-// sweep's retry schedule is reproducible run to run.
+// progressively degraded fidelity tiers. Backoff uses full jitter
+// (uniform in [0, base<<attempt)) derived from the config's own seed,
+// so the schedule is reproducible run to run, yet two configs whose
+// first retries collide in time draw independent waits and do not
+// re-collide attempt after attempt the way stepped exponential backoff
+// would.
 func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, backoff time.Duration) (RunResult, error) {
-	rng := sim.NewRNG(0x9e3779b97f4a7c15 ^ uint64(idx))
 	usage := budget.Usage{}
 	for attempt := 0; ; attempt++ {
 		res, err := RunCtx(ctx, cfg)
@@ -164,9 +170,7 @@ func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, back
 		if errors.As(err, &re) {
 			usage.Merge(budget.Usage{Events: re.Events, Wall: re.Wall})
 		}
-		delay := backoff << uint(attempt)
-		delay += time.Duration(rng.Int63n(int64(delay)/2 + 1))
-		timer := time.NewTimer(delay)
+		timer := time.NewTimer(retryDelay(cfg.Seed, idx, attempt, backoff))
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -181,6 +185,25 @@ func runWithRetry(ctx context.Context, idx int, cfg RunConfig, retries int, back
 			})
 		}
 	}
+}
+
+// retryDelay computes the wait before retry attempt (0-based) of the
+// config at idx in its sweep. Full jitter: a fresh RNG keyed by the
+// config's simulation seed, its sweep position, and the attempt number
+// draws uniformly from [0, backoff<<attempt), so the schedule is
+// deterministic per config yet decorrelated across configs — the
+// property TestRetryDelayDecorrelatesCollidingConfigs pins down.
+func retryDelay(seed uint64, idx, attempt int, backoff time.Duration) time.Duration {
+	shift := uint(attempt)
+	if shift > 20 { // cap the window (~50ms<<20 ≈ 15 h); avoids overflow too
+		shift = 20
+	}
+	ceil := int64(backoff) << shift
+	if ceil <= 0 {
+		return 0
+	}
+	rng := sim.NewRNG(0x9e3779b97f4a7c15 ^ seed ^ uint64(idx)<<32 ^ uint64(attempt)<<56)
+	return time.Duration(rng.Int63n(ceil))
 }
 
 // retryable reports whether a failure is worth a reduced-fidelity

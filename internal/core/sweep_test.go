@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"ccatscale/internal/mathis"
 	"ccatscale/internal/sim"
@@ -175,4 +176,44 @@ func TestMathisSamplesRespectInterpretation(t *testing.T) {
 		t.Fatal("zero-p sample not skipped")
 	}
 	_ = mathis.Sample{}
+}
+
+// TestRetryDelayDecorrelatesCollidingConfigs pins the full-jitter
+// property the retry ladder depends on: when many configs hit a
+// retryable failure at the same instant (a shared budget breach, a
+// machine stall), their backoff draws must not march in lockstep —
+// stepped exponential backoff would have every config sleep the same
+// schedule and re-collide on every attempt.
+func TestRetryDelayDecorrelatesCollidingConfigs(t *testing.T) {
+	const backoff = 50 * time.Millisecond
+	// Determinism: the schedule is a pure function of (seed, idx, attempt).
+	if a, b := retryDelay(42, 3, 2, backoff), retryDelay(42, 3, 2, backoff); a != b {
+		t.Fatalf("retryDelay not deterministic: %v vs %v", a, b)
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		ceil := backoff << uint(attempt)
+		seen := map[time.Duration]int{}
+		for idx := 0; idx < 32; idx++ {
+			d := retryDelay(uint64(1000+idx), idx, attempt, backoff)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d idx %d: delay %v outside [0, %v)", attempt, idx, d, ceil)
+			}
+			seen[d]++
+		}
+		// 32 colliding configs must spread out: full jitter over a window
+		// of ≥50ms in nanoseconds makes even one duplicate astronomically
+		// unlikely, so tolerate at most one as a flake guard.
+		if len(seen) < 31 {
+			t.Fatalf("attempt %d: only %d distinct delays across 32 configs — retries synchronize", attempt, len(seen))
+		}
+	}
+	// Different simulation seeds at the same sweep position must not
+	// share a schedule either (the old ladder keyed on idx alone).
+	if retryDelay(1, 0, 1, backoff) == retryDelay(2, 0, 1, backoff) {
+		t.Fatal("configs differing only in seed share a retry schedule")
+	}
+	// Degenerate windows collapse to an immediate retry, not a panic.
+	if d := retryDelay(7, 0, 0, 0); d != 0 {
+		t.Fatalf("zero backoff: %v", d)
+	}
 }

@@ -24,7 +24,11 @@ import (
 //
 //	1.0 — first versioned shapes: manifest.json gains schema_version,
 //	      table JSON (report.Table.WriteJSON), telemetry JSONL header.
-const Version = "1.0"
+//	1.1 — crash-safe orchestration shapes: write-ahead journal records
+//	      (internal/store JournalRecord), content-addressed store record
+//	      trailers, and the manifest jobRecord's "cached" field. Minor
+//	      bump: 1.0 readers would only miss additions.
+const Version = "1.1"
 
 // Field is the canonical JSON key carrying the version.
 const Field = "schema_version"

@@ -1,0 +1,238 @@
+// Package chaostest is the crash-injection harness for internal/store.
+// It wraps the store's FS seam with a fault plan that counts syscall
+// boundaries (open, write, sync, rename, remove, dir-sync) and, at a
+// seeded point, simulates the process dying mid-operation: the write in
+// flight persists only a prefix (a torn write), and every subsequent
+// operation fails with ErrKilled — the dead process can touch nothing
+// further. Tests then "reboot" by opening a fresh Store/Journal over
+// the same directory and assert the recovery invariants: no torn state
+// visible, committed records intact, exactly-once execution.
+//
+// The same wrapper drives the -chaos build-tagged hook in
+// cmd/reproduce, where the kill is a real os.Exit so CI can crash a
+// live sweep at seeded syscall boundaries and prove a resumed sweep
+// byte-identical to an uninterrupted one.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccatscale/internal/store"
+)
+
+// ErrKilled is returned by every FS operation after the kill point: the
+// simulated process is dead.
+var ErrKilled = errors.New("chaostest: process killed at syscall boundary")
+
+// Plan schedules one crash. Ops are counted across the whole FS (1 is
+// the first operation); KillAt = 0 disables the crash. TornBytes
+// controls how much of the in-flight write persists when the kill lands
+// on a write: n >= 0 keeps min(n, len(p)) bytes — the torn-write model;
+// -1 keeps the whole write (the kill lands after the data but before
+// any later fsync/rename).
+type Plan struct {
+	KillAt    uint64
+	TornBytes int
+	// OnKill, when non-nil, runs exactly once at the kill point —
+	// cmd/reproduce's chaos hook uses it to os.Exit the real process.
+	OnKill func()
+}
+
+// FS wraps an inner store.FS with the fault plan.
+type FS struct {
+	inner store.FS
+	plan  Plan
+	ops   atomic.Uint64
+	dead  atomic.Bool
+	once  sync.Once
+}
+
+// Wrap builds a chaos FS over inner (usually store.OSFS()).
+func Wrap(inner store.FS, plan Plan) *FS {
+	return &FS{inner: inner, plan: plan}
+}
+
+// Ops returns how many syscall boundaries have been crossed — run a
+// scenario once with no kill to learn the budget, then schedule kills
+// inside [1, Ops()].
+func (c *FS) Ops() uint64 { return c.ops.Load() }
+
+// Killed reports whether the plan's kill point has fired.
+func (c *FS) Killed() bool { return c.dead.Load() }
+
+// step counts one syscall boundary and reports whether this operation
+// is the one the process dies in.
+func (c *FS) step() (dieNow bool, err error) {
+	if c.dead.Load() {
+		return false, ErrKilled
+	}
+	n := c.ops.Add(1)
+	if c.plan.KillAt != 0 && n >= c.plan.KillAt {
+		c.dead.Store(true)
+		c.once.Do(func() {
+			if c.plan.OnKill != nil {
+				c.plan.OnKill()
+			}
+		})
+		return true, nil
+	}
+	return false, nil
+}
+
+func (c *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	die, err := c.step()
+	if err != nil {
+		return nil, err
+	}
+	if die {
+		// Whether the file was created before the crash is the kernel's
+		// coin flip; modeling "created, empty" exercises the harder
+		// recovery path (a zero-length tmp file lying around).
+		if flag&os.O_CREATE != 0 {
+			if f, oerr := c.inner.OpenFile(name, flag, perm); oerr == nil {
+				f.Close()
+			}
+		}
+		return nil, ErrKilled
+	}
+	f, err := c.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, inner: f}, nil
+}
+
+func (c *FS) Rename(oldname, newname string) error {
+	die, err := c.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		// A rename is atomic in the kernel: it either happened or it
+		// did not. Model the worst case for durability — it did not.
+		return ErrKilled
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+func (c *FS) Remove(name string) error {
+	die, err := c.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		return ErrKilled
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *FS) MkdirAll(name string, perm os.FileMode) error {
+	die, err := c.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		return ErrKilled
+	}
+	return c.inner.MkdirAll(name, perm)
+}
+
+func (c *FS) Stat(name string) (os.FileInfo, error) {
+	if c.dead.Load() {
+		return nil, ErrKilled
+	}
+	return c.inner.Stat(name) // read: not a durability boundary
+}
+
+func (c *FS) ReadFile(name string) ([]byte, error) {
+	if c.dead.Load() {
+		return nil, ErrKilled
+	}
+	return c.inner.ReadFile(name)
+}
+
+func (c *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if c.dead.Load() {
+		return nil, ErrKilled
+	}
+	return c.inner.ReadDir(name)
+}
+
+func (c *FS) SyncDir(name string) error {
+	die, err := c.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		return ErrKilled
+	}
+	return c.inner.SyncDir(name)
+}
+
+func (c *FS) Chtimes(name string, atime, mtime time.Time) error {
+	die, err := c.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		return ErrKilled
+	}
+	return c.inner.Chtimes(name, atime, mtime)
+}
+
+// chaosFile intercepts writes and fsyncs so the kill can land inside a
+// file operation and tear the write.
+type chaosFile struct {
+	fs    *FS
+	inner store.File
+}
+
+func (f *chaosFile) Name() string { return f.inner.Name() }
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	die, err := f.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if die {
+		keep := f.fs.plan.TornBytes
+		if keep < 0 || keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			f.inner.Write(p[:keep]) // the torn prefix that reached the disk
+		}
+		f.inner.Close()
+		return 0, ErrKilled
+	}
+	return f.inner.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	die, err := f.fs.step()
+	if err != nil {
+		return err
+	}
+	if die {
+		f.inner.Close()
+		return ErrKilled
+	}
+	return f.inner.Sync()
+}
+
+func (f *chaosFile) Close() error {
+	if f.fs.dead.Load() {
+		return ErrKilled
+	}
+	return f.inner.Close()
+}
+
+// Fmt renders a short human label for a kill plan, for test output.
+func (p Plan) String() string {
+	return fmt.Sprintf("kill@%d torn=%d", p.KillAt, p.TornBytes)
+}

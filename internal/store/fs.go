@@ -1,0 +1,89 @@
+package store
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// FS is the syscall surface the store's durability protocol runs on.
+// Every operation the crash model reasons about — create, write, fsync,
+// rename, directory sync — goes through this seam, so the chaos harness
+// (internal/store/chaostest) can cut the process at any syscall
+// boundary, tear a write in half, or fail an fsync, and the recovery
+// path can be proven against exactly the failures a real kernel can
+// deliver.
+type FS interface {
+	// OpenFile opens a file with the given flags, like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname, like os.Rename.
+	Rename(oldname, newname string) error
+	// Remove deletes a file, like os.Remove.
+	Remove(name string) error
+	// MkdirAll creates a directory tree, like os.MkdirAll.
+	MkdirAll(name string, perm os.FileMode) error
+	// Stat stats a path, like os.Stat.
+	Stat(name string) (os.FileInfo, error)
+	// ReadFile reads a whole file, like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory, like os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs a directory so a preceding rename or create in it
+	// is durable. On filesystems where directories cannot be fsynced the
+	// implementation may degrade to a no-op.
+	SyncDir(name string) error
+	// Chtimes updates a file's access and modification times, like
+	// os.Chtimes. Leases use it to heartbeat.
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// File is the open-file surface the protocol uses: write, fsync, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS backed by the os package. Store and
+// Journal default to it; tests and the chaos harness substitute their
+// own.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error         { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+// SyncDir opens the directory read-only and fsyncs it: the POSIX way to
+// make a completed rename survive power loss. Some filesystems refuse
+// to fsync a directory handle; that is reported, not swallowed, except
+// for EINVAL which several network filesystems return for a legal call.
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

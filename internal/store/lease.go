@@ -1,0 +1,203 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// leaseDir is the subdirectory of a sweep's output directory holding
+// one lease file per claimed job.
+const leaseDir = "leases"
+
+// ErrLeaseHeld reports a job currently claimed by a live worker.
+var ErrLeaseHeld = errors.New("store: lease held")
+
+// leaseBody is what a lease file contains: enough to name the holder in
+// error messages and takeover logs. Liveness is the file's mtime — the
+// holder touches it on every heartbeat — not the body, so heartbeating
+// is one utimes call, not a rewrite.
+type leaseBody struct {
+	Owner string `json:"owner"`
+	PID   int    `json:"pid"`
+	Since string `json:"since"`
+}
+
+// Lease is a claim on one job, held by one worker. The holder must
+// Heartbeat more often than the TTL other workers acquire with, and
+// Release when done.
+type Lease struct {
+	fs    FS
+	path  string
+	owner string
+}
+
+// Leases manages the lease directory for one sweep.
+type Leases struct {
+	fs    FS
+	dir   string
+	owner string
+	ttl   time.Duration
+	// now is a clock seam for tests; time.Now outside them.
+	now func() time.Time
+}
+
+// NewLeases opens the lease space under outDir for a worker identified
+// by owner (unique per process — e.g. host:pid plus a random suffix).
+// ttl is the staleness deadline: a lease whose heartbeat mtime is older
+// than ttl may be taken over by another worker.
+func NewLeases(outDir, owner string, ttl time.Duration) (*Leases, error) {
+	return NewLeasesFS(OSFS(), outDir, owner, ttl)
+}
+
+// NewLeasesFS is NewLeases on an explicit FS.
+func NewLeasesFS(fs FS, outDir, owner string, ttl time.Duration) (*Leases, error) {
+	if owner == "" {
+		return nil, errors.New("store: empty lease owner")
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("store: lease ttl %v must be positive", ttl)
+	}
+	dir := filepath.Join(outDir, leaseDir)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Leases{fs: fs, dir: dir, owner: owner, ttl: ttl, now: time.Now}, nil
+}
+
+// leasePath maps a job name to its lease file. Job names are flat
+// identifiers; path separators are rejected at Acquire.
+func (ls *Leases) leasePath(job string) string {
+	return filepath.Join(ls.dir, job+".lease")
+}
+
+// Acquire claims job for this worker. It succeeds by creating the lease
+// file exclusively, or by taking over a lease whose heartbeat is older
+// than the TTL (the previous holder is presumed dead). A live lease
+// returns ErrLeaseHeld wrapped with the holder's identity.
+//
+// Takeover is intentionally last-writer-wins: two workers that both see
+// a stale lease may both rename their claim into place, and both may
+// briefly believe they hold it. That race is accepted, not prevented —
+// the content-addressed store makes the duplicate execution harmless
+// (the second commit is a no-op), which is cheaper and more robust than
+// distributed locking. Confirm() narrows the window for long jobs.
+func (ls *Leases) Acquire(job string) (*Lease, error) {
+	if strings.ContainsAny(job, "/\\") {
+		return nil, fmt.Errorf("store: job name %q contains a path separator", job)
+	}
+	path := ls.leasePath(job)
+	body, err := json.Marshal(leaseBody{
+		Owner: ls.owner,
+		PID:   os.Getpid(),
+		Since: ls.now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	// Fast path: exclusive create wins the job outright.
+	f, err := ls.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err == nil {
+		_, werr := f.Write(body)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			ls.fs.Remove(path)
+			if werr != nil {
+				return nil, werr
+			}
+			return nil, cerr
+		}
+		return &Lease{fs: ls.fs, path: path, owner: ls.owner}, nil
+	}
+	if !os.IsExist(err) {
+		return nil, err
+	}
+	// Slow path: a lease exists. Stale (heartbeat older than TTL) means
+	// the holder died without releasing; rename a fresh claim over it.
+	fi, err := ls.fs.Stat(path)
+	if os.IsNotExist(err) {
+		return ls.Acquire(job) // released between create and stat; retry
+	}
+	if err != nil {
+		return nil, err
+	}
+	if age := ls.now().Sub(fi.ModTime()); age < ls.ttl {
+		holder := "unknown"
+		if data, rerr := ls.fs.ReadFile(path); rerr == nil {
+			var b leaseBody
+			if json.Unmarshal(data, &b) == nil && b.Owner != "" {
+				holder = b.Owner
+			}
+		}
+		return nil, fmt.Errorf("%w: job %q by %s (heartbeat %v ago, ttl %v)",
+			ErrLeaseHeld, job, holder, age.Round(time.Millisecond), ls.ttl)
+	}
+	tmp := fmt.Sprintf("%s.takeover.%d", path, os.Getpid())
+	tf, err := ls.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	_, werr := tf.Write(body)
+	cerr := tf.Close()
+	if werr != nil || cerr != nil {
+		ls.fs.Remove(tmp)
+		if werr != nil {
+			return nil, werr
+		}
+		return nil, cerr
+	}
+	if err := ls.fs.Rename(tmp, path); err != nil {
+		ls.fs.Remove(tmp)
+		return nil, err
+	}
+	l := &Lease{fs: ls.fs, path: path, owner: ls.owner}
+	// Read back: if another takeover renamed after ours, it owns the
+	// job and we stand down.
+	if !l.confirm() {
+		return nil, fmt.Errorf("%w: job %q lost takeover race", ErrLeaseHeld, job)
+	}
+	return l, nil
+}
+
+// Heartbeat advances the lease's liveness clock (its mtime). Holders
+// must call it at least every ttl/2 during long jobs or risk takeover.
+func (l *Lease) Heartbeat() error {
+	now := time.Now()
+	return l.fs.Chtimes(l.path, now, now)
+}
+
+// Confirm re-reads the lease and reports whether this worker still
+// holds it — false means another worker took it over (this process
+// stalled past the TTL) and any result must be committed through the
+// idempotent store only, never trusted as exclusive.
+func (l *Lease) Confirm() bool { return l.confirm() }
+
+func (l *Lease) confirm() bool {
+	data, err := l.fs.ReadFile(l.path)
+	if err != nil {
+		return false
+	}
+	var b leaseBody
+	if err := json.Unmarshal(data, &b); err != nil {
+		return false
+	}
+	return b.Owner == l.owner
+}
+
+// Release drops the claim. Releasing a lease lost to takeover is a
+// no-op — the file now belongs to the new holder and must survive.
+func (l *Lease) Release() error {
+	if !l.confirm() {
+		return nil
+	}
+	err := l.fs.Remove(l.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
