@@ -1,0 +1,180 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/core"
+	"ccatscale/internal/metrics"
+	"ccatscale/internal/report"
+	"ccatscale/internal/schema"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// job is the server's in-memory state for one admitted scenario. The
+// durable record is the journal; everything here is rebuilt from it at
+// boot. All mutable fields are guarded by the server's mutex.
+type job struct {
+	spec    schema.JobSpec
+	setting core.Setting
+	flows   []core.FlowSpec
+	key     string
+	// fp is the estimator's predicted footprint, reserved in the
+	// admission pool until the job reaches a terminal state.
+	fp budget.Footprint
+	// status is the externally visible state, streamed to subscribers
+	// on every transition.
+	status schema.JobStatus
+	// attempts counts executions; failures counts consecutive failed
+	// ones — the circuit breaker's input, replayed from the journal at
+	// boot so a crash does not reset a poisoned config's strike count.
+	attempts int
+	failures int
+	// subs are live event-stream subscribers; each receives framed
+	// JSONL lines and is closed when the job reaches a terminal state.
+	subs []chan []byte
+}
+
+// buildJob converts a validated JobSpec into the simulator's terms and
+// computes its content address and estimated footprint.
+func buildJob(spec schema.JobSpec) *job {
+	setting := core.Setting{
+		Name:     spec.Name,
+		Rate:     units.Bandwidth(spec.RateMbps * float64(units.MbitPerSec)),
+		Buffer:   units.ByteCount(spec.BufferBytes),
+		Warmup:   secondsToSim(spec.WarmupS),
+		Duration: secondsToSim(spec.DurationS),
+		Stagger:  secondsToSim(spec.StaggerS),
+		AQM:      spec.AQM,
+	}
+	var flows []core.FlowSpec
+	for _, g := range spec.Flows {
+		rtt := sim.Time(g.RTTMs * float64(sim.Millisecond))
+		for i := 0; i < g.Count; i++ {
+			flows = append(flows, core.FlowSpec{CCA: g.CCA, RTT: rtt})
+		}
+	}
+	j := &job{
+		spec:    spec,
+		setting: setting,
+		flows:   flows,
+		key:     jobKey(spec.Name, spec.Seed, setting),
+	}
+	j.fp = core.EstimateConfig(j.config())
+	j.status = schema.JobStatus{Name: spec.Name, Key: j.key, State: schema.JobQueued}
+	return j
+}
+
+// config builds the job's RunConfig. Live attachments (Ctx, Telemetry)
+// are layered on by the worker per attempt.
+func (j *job) config() core.RunConfig {
+	return j.setting.Build(j.flows, core.WithSeed(core.Seed(j.spec.Seed)))
+}
+
+func secondsToSim(s float64) sim.Time {
+	return sim.Time(s * float64(sim.Second))
+}
+
+// jobKey is the content address of a job's result: name and seed in the
+// clear plus a hash of the governance-zeroed setting — the same scheme
+// cmd/reproduce uses, so a scenario always commits to the same key no
+// matter which front end ran it.
+func jobKey(name string, seed uint64, s core.Setting) string {
+	s.Budget = nil
+	s.Retries = 0
+	s.Fidelity = 0
+	s.WallLimit = 0
+	s.Telemetry = nil
+	s.Ctx = nil
+	s.UsageSink = nil
+	data, err := json.Marshal(struct {
+		Name    string
+		Seed    uint64
+		Setting core.Setting
+	}{name, seed, s})
+	if err != nil {
+		data = []byte(name)
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s-%d-%x", name, seed, sum[:8])
+}
+
+// batchID names a batch by its membership: a hash of the sorted member
+// keys, so resubmitting the same scenarios addresses the same batch and
+// an idempotent client can safely retry a submit whose response it
+// lost.
+func batchID(keys []string) string {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, k := range sorted {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// deadline derives the job's wall-clock allowance from the estimator:
+// headroom times the predicted wall, floored so tiny estimates do not
+// starve real runs. The worker turns it into a context deadline, which
+// core.RunCtx clamps its watchdog under — so a blown deadline surfaces
+// as a replayable wall-clock RunError with commit margin to spare.
+func (j *job) deadline(factor float64, floor time.Duration) time.Duration {
+	d := time.Duration(factor * float64(j.fp.Wall))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// renderResult builds the canonical result table for a finished run.
+// Everything in it derives from the deterministic simulation — no wall
+// clock, no hostnames — so the payload committed to the store is
+// byte-identical across reruns, processes, and crash recoveries.
+func renderResult(spec schema.JobSpec, res core.RunResult) *report.Table {
+	tab := report.NewTable(spec.Name,
+		"flow", "cca", "rtt_ms", "goodput_mbps", "delivered_segs", "drops", "retx_rate")
+	goodputs := make([]float64, len(res.Flows))
+	for i, f := range res.Flows {
+		goodputs[i] = float64(f.Goodput)
+		retx := 0.0
+		if f.SegmentsSent > 0 {
+			retx = 1 - float64(f.SegmentsDelivered)/float64(f.SegmentsSent)
+			if retx < 0 {
+				retx = 0
+			}
+		}
+		tab.AddRow(i, f.Spec.CCA,
+			float64(f.Spec.RTT)/float64(sim.Millisecond),
+			float64(f.Goodput)/float64(units.MbitPerSec),
+			f.SegmentsDelivered, f.Drops, report.Pct(retx))
+	}
+	tab.AddNote("aggregate goodput %.2f Mbps, utilization %s, JFI %.4f",
+		float64(res.AggregateGoodput)/float64(units.MbitPerSec),
+		report.Pct(res.Utilization), metrics.JFI(goodputs))
+	if res.Converged {
+		tab.AddNote("converged at %v (window %v)", res.Window, res.Window)
+	}
+	return tab
+}
+
+// queuedDetail is the payload of an OpQueued journal record: the full
+// client spec, so a crashed server re-admits its queue from the journal
+// alone, plus the batch the submission belonged to.
+type queuedDetail struct {
+	Spec  schema.JobSpec `json:"spec"`
+	Batch string         `json:"batch"`
+}
+
+// terminalDetail is the payload of terminal journal records: the job's
+// final status plus its batch, so boot recovery rebuilds both the
+// status map and batch membership from the journal's frontier.
+type terminalDetail struct {
+	Status schema.JobStatus `json:"status"`
+	Batch  string           `json:"batch,omitempty"`
+}

@@ -1,0 +1,120 @@
+// Command ccserve runs congestion-control scenario batches as a
+// service: a long-running HTTP server that prices submitted scenarios
+// with the footprint estimator, admits them under a global budget
+// (full queue = 429 + Retry-After, never an unbounded goroutine pile),
+// dedupes (config, seed) pairs against the content-addressed result
+// store, executes them on a lease-coordinated worker pool under
+// estimator-derived deadlines, and streams per-job progress.
+//
+// Robustness is the point: every admitted job is journaled before it
+// is queued, so SIGKILL at any instant loses no accepted work — the
+// next boot replays the write-ahead log, re-admits the unfinished
+// queue, and serves already-committed results from the store without
+// recomputation. SIGTERM drains gracefully: stop admitting, finish
+// in-flight jobs within a grace period, checkpoint the rest.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccatscale/internal/budget"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 = ephemeral)")
+		out            = fs.String("out", "serve-out", "output directory (store, journal, leases)")
+		workers        = fs.Int("workers", 2, "concurrent simulation workers")
+		slots          = fs.Int("slots", 64, "admission slots: max queued+running jobs before 429")
+		queueHeap      = fs.Int64("queue-heap", 0, "aggregate estimated heap bytes across admitted jobs (0 = unlimited)")
+		queueWall      = fs.Duration("queue-wall", 0, "aggregate estimated wall time across admitted jobs (0 = unlimited)")
+		retries        = fs.Int("retries", 1, "reduced-fidelity retries per execution attempt")
+		leaseTTL       = fs.Duration("lease-ttl", 30*time.Second, "lease staleness threshold")
+		leaseHeartbeat = fs.Duration("lease-heartbeat", 0, "lease refresh interval (0 = ttl/6); must be under a third of -lease-ttl")
+		breaker        = fs.Int("breaker", 3, "consecutive failures before a config is quarantined")
+		deadlineFactor = fs.Float64("deadline-factor", 4, "wall-clock deadline as a multiple of the estimated wall time")
+		minDeadline    = fs.Duration("min-deadline", 15*time.Second, "floor for per-job deadlines")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs at SIGTERM")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	cfg := serverConfig{
+		out:            *out,
+		workers:        *workers,
+		slots:          *slots,
+		retries:        *retries,
+		leaseTTL:       *leaseTTL,
+		leaseHeartbeat: *leaseHeartbeat,
+		deadlineFactor: *deadlineFactor,
+		minDeadline:    *minDeadline,
+		breakerAfter:   *breaker,
+		drainTimeout:   *drainTimeout,
+		stderr:         stderr,
+	}
+	if *queueHeap > 0 || *queueWall > 0 {
+		cfg.queueBudget = &budget.Budget{HeapBytes: *queueHeap, Wall: *queueWall}
+	}
+
+	s, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccserve: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Drain()
+		fmt.Fprintf(stderr, "ccserve: %v\n", err)
+		return 2
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(stdout, "ccserve: listening on %s, results in %s\n", ln.Addr(), *out)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "ccserve: %v: draining (grace %v)\n", sig, *drainTimeout)
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "ccserve: serve: %v\n", err)
+		s.Drain()
+		return 1
+	}
+
+	// Drain order: stop workers first (healthz already reports
+	// draining), so jobs finish or checkpoint before the listener
+	// closes and clients can watch the state flip while it happens.
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "ccserve: shutdown: %v\n", err)
+	}
+	<-errCh // reap Serve's ErrServerClosed
+	fmt.Fprintln(stdout, "ccserve: drained, exiting")
+	return 0
+}

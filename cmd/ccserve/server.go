@@ -1,0 +1,968 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"ccatscale/internal/budget"
+	"ccatscale/internal/core"
+	"ccatscale/internal/schema"
+	"ccatscale/internal/store"
+	"ccatscale/internal/telemetry"
+)
+
+// serverConfig is everything a server needs besides its output
+// directory's current contents. Tests construct it directly; main fills
+// it from flags.
+type serverConfig struct {
+	out     string
+	workers int
+	// slots bounds the admission pool: queued-plus-running jobs, and
+	// therefore the channel capacity and the journal growth per boot.
+	slots int
+	// queueBudget optionally bounds the aggregate *estimated* footprint
+	// of admitted work (backpressure, not enforcement).
+	queueBudget *budget.Budget
+	// retries is the reduced-fidelity retry allowance per execution
+	// attempt (the degradation ladder inside one RunManyCtx call).
+	retries        int
+	leaseTTL       time.Duration
+	leaseHeartbeat time.Duration
+	// deadlineFactor × estimated wall (floored at minDeadline) is each
+	// job's wall-clock allowance.
+	deadlineFactor float64
+	minDeadline    time.Duration
+	// breakerAfter is the consecutive-failure count that quarantines a
+	// config hash.
+	breakerAfter int
+	// drainTimeout bounds how long SIGTERM waits for in-flight jobs
+	// before cancelling their contexts and checkpointing them as queued.
+	drainTimeout time.Duration
+	fsys         store.FS
+	stderr       io.Writer
+}
+
+// withDefaults fills unset fields. workers may be explicitly zero — an
+// accept-and-journal-only server, which tests use to hold jobs queued.
+func (c *serverConfig) withDefaults() {
+	if c.workers < 0 {
+		c.workers = 0
+	}
+	if c.slots < 1 {
+		c.slots = 64
+	}
+	if c.leaseTTL <= 0 {
+		c.leaseTTL = 30 * time.Second
+	}
+	if c.leaseHeartbeat <= 0 {
+		c.leaseHeartbeat = store.DefaultHeartbeat(c.leaseTTL)
+	}
+	if c.deadlineFactor <= 0 {
+		c.deadlineFactor = 4
+	}
+	if c.minDeadline <= 0 {
+		c.minDeadline = 15 * time.Second
+	}
+	if c.breakerAfter < 1 {
+		c.breakerAfter = 3
+	}
+	if c.drainTimeout <= 0 {
+		c.drainTimeout = 30 * time.Second
+	}
+	if c.fsys == nil {
+		c.fsys = store.OSFS()
+	}
+	if c.stderr == nil {
+		c.stderr = os.Stderr
+	}
+}
+
+// singletonJob is the lease name that makes one server the exclusive
+// owner of an output directory. Exclusivity is what makes boot-time
+// journal compaction safe and the ≤1-OpDone-per-key invariant local
+// reasoning instead of a distributed-systems problem.
+const singletonJob = "ccserve-singleton"
+
+// server is the simulation-as-a-service process state.
+type server struct {
+	cfg    serverConfig
+	fsys   store.FS
+	st     *store.Store
+	jnl    *store.Journal
+	leases *store.Leases
+	lease  *store.Lease // the singleton
+	pool   *budget.Pool
+	reg    *telemetry.Registry
+	owner  string
+
+	mu       sync.Mutex
+	jobs     map[string]*job     // by result key
+	batches  map[string][]string // batch id → member keys, submission order
+	draining bool
+
+	queue     chan *job
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed at drain: workers stop picking up work
+	runCtx  context.Context
+	cancel  context.CancelFunc // cancels in-flight runs past the drain grace
+	wg      sync.WaitGroup     // worker loops
+	hbStop  chan struct{}      // singleton heartbeat
+	hbDone  sync.WaitGroup
+}
+
+// newServer opens the output directory, compacts and replays the
+// journal, re-admits unfinished work, and starts the worker pool. The
+// returned server is ready to have its handler attached to a listener.
+func newServer(cfg serverConfig) (*server, error) {
+	cfg.withDefaults()
+	if err := store.ValidateHeartbeat(cfg.leaseHeartbeat, cfg.leaseTTL); err != nil {
+		return nil, err
+	}
+	fsys := cfg.fsys
+	st, err := store.OpenFS(filepath.Join(cfg.out, "store"), fsys)
+	if err != nil {
+		return nil, err
+	}
+	owner := fmt.Sprintf("%s-%d", hostname(), os.Getpid())
+	leases, err := store.NewLeasesFS(fsys, cfg.out, owner, cfg.leaseTTL)
+	if err != nil {
+		return nil, err
+	}
+	// Become the directory's only server. A predecessor that crashed
+	// holds a lease that goes stale within one TTL; wait it out rather
+	// than failing a restart-after-crash, but refuse a live holder.
+	single, err := acquireSingleton(leases, cfg.leaseTTL)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &server{
+		cfg:     cfg,
+		fsys:    fsys,
+		st:      st,
+		leases:  leases,
+		lease:   single,
+		pool:    budget.NewPool(cfg.queueBudget, cfg.slots, cfg.workers),
+		reg:     telemetry.NewRegistry(),
+		owner:   owner,
+		jobs:    map[string]*job{},
+		batches: map[string][]string{},
+		queue:   make(chan *job, cfg.slots),
+		drainCh: make(chan struct{}),
+		hbStop:  make(chan struct{}),
+	}
+	s.runCtx, s.cancel = context.WithCancel(context.Background())
+
+	// With exclusive ownership established, bound the WAL: segments
+	// whose work is all resolved shrink to their outcome frontier, so a
+	// server that has served a million requests replays thousands of
+	// records, not millions.
+	if dropped, err := store.CompactJournalSet(fsys, cfg.out); err != nil {
+		s.releaseSingleton()
+		return nil, fmt.Errorf("ccserve: compacting journal: %w", err)
+	} else if dropped > 0 {
+		fmt.Fprintf(cfg.stderr, "ccserve: journal compaction dropped %d resolved records\n", dropped)
+	}
+
+	// Replay the WAL: rebuild every job's last known state, then
+	// re-admit whatever was queued or claimed when the last process
+	// died. Stream order within a segment is append order, so the last
+	// record per key wins.
+	jnl, _, err := store.OpenJournalSet(fsys, cfg.out, owner, s.replay)
+	if err != nil {
+		s.releaseSingleton()
+		return nil, err
+	}
+	s.jnl = jnl
+	recovered := 0
+	for _, j := range s.jobs {
+		if schema.JobTerminal(j.status.State) {
+			continue
+		}
+		j.status.State = schema.JobQueued
+		// Force, not Admit: the previous process already promised to
+		// run these. Bouncing them at reboot would turn a crash into
+		// silently dropped work.
+		s.pool.Force(j.fp)
+		s.queue <- j
+		recovered++
+	}
+	if recovered > 0 {
+		fmt.Fprintf(cfg.stderr, "ccserve: recovered %d unfinished jobs from the journal\n", recovered)
+	}
+
+	// Heartbeat the singleton for the server's lifetime. The stop
+	// channel is captured here: releaseSingleton nils the struct field
+	// to stay idempotent, and a select on a nil channel never fires.
+	s.hbDone.Add(1)
+	go func(stop <-chan struct{}) {
+		defer s.hbDone.Done()
+		tick := time.NewTicker(cfg.leaseHeartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if s.lease.Heartbeat() != nil || !s.lease.Confirm() {
+					// Lost the directory (or the disk): stop taking new
+					// work; in-flight jobs commit through the idempotent
+					// store, which stays safe under a usurper.
+					s.setDraining()
+					return
+				}
+			}
+		}
+	}(s.hbStop)
+
+	for w := 0; w < cfg.workers; w++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+// acquireSingleton claims the server lease, waiting out a stale
+// predecessor for up to ttl plus a margin.
+func acquireSingleton(leases *store.Leases, ttl time.Duration) (*store.Lease, error) {
+	deadline := time.Now().Add(ttl + 2*time.Second)
+	for {
+		l, err := leases.Acquire(singletonJob)
+		if err == nil {
+			return l, nil
+		}
+		if !errors.Is(err, store.ErrLeaseHeld) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("ccserve: output directory already served: %w", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (s *server) releaseSingleton() {
+	close(s.hbStopIfOpen())
+	s.hbDone.Wait()
+	s.lease.Release()
+}
+
+// hbStopIfOpen returns hbStop exactly once for closing; subsequent
+// calls return a fresh dead channel so releaseSingleton is idempotent.
+func (s *server) hbStopIfOpen() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.hbStop
+	if ch == nil {
+		ch = make(chan struct{})
+	} else {
+		s.hbStop = nil
+	}
+	return ch
+}
+
+// replay folds one journal record into the boot state. Pending ops
+// (queued/claimed) carry the spec so the job can be rebuilt; terminal
+// ops carry the final status. Failed terminals also feed the circuit
+// breaker so a crash cannot reset a poisoned config's strike count.
+func (s *server) replay(rec store.JournalRecord) error {
+	switch rec.Op {
+	case store.OpQueued, store.OpClaimed:
+		var d queuedDetail
+		if err := json.Unmarshal(rec.Detail, &d); err != nil || d.Spec.Name == "" {
+			return nil // old or foreign record shape; ignore
+		}
+		j, ok := s.jobs[rec.Key]
+		if !ok {
+			j = buildJob(d.Spec)
+			s.jobs[j.key] = j
+		}
+		j.status.State = schema.JobQueued
+		s.addToBatch(d.Batch, rec.Key)
+	case store.OpDone, store.OpFailed, store.OpRejected, store.OpCached, store.OpQuarantined:
+		var d terminalDetail
+		if err := json.Unmarshal(rec.Detail, &d); err != nil {
+			return nil
+		}
+		j, ok := s.jobs[rec.Key]
+		if !ok {
+			// Terminal with no surviving pending record (compaction
+			// dropped it). The status itself is the state.
+			j = &job{key: rec.Key, spec: schema.JobSpec{Name: rec.Job}}
+			s.jobs[rec.Key] = j
+		}
+		if d.Status.Key != "" {
+			j.status = d.Status
+		} else {
+			j.status = schema.JobStatus{Name: rec.Job, Key: rec.Key, State: schema.JobDone}
+		}
+		if rec.Op == store.OpFailed {
+			j.failures++
+			j.attempts++
+		}
+		s.addToBatch(d.Batch, rec.Key)
+	}
+	return nil
+}
+
+func (s *server) addToBatch(batch, key string) {
+	if batch == "" {
+		return
+	}
+	for _, k := range s.batches[batch] {
+		if k == key {
+			return
+		}
+	}
+	s.batches[batch] = append(s.batches[batch], key)
+}
+
+// Handler returns the server's HTTP surface, instrumented per route
+// into the registry that /metricsz snapshots.
+func (s *server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, telemetry.HTTPMetrics(s.reg, pattern, h))
+	}
+	route("POST /v1/batches", s.handleSubmit)
+	route("GET /v1/batches/{id}", s.handleBatch)
+	route("GET /v1/jobs/{key}", s.handleJob)
+	route("GET /v1/jobs/{key}/events", s.handleEvents)
+	route("GET /healthz", s.handleHealth)
+	route("GET /metricsz", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, schema.ErrorResponse{SchemaVersion: schema.Version, Error: msg})
+}
+
+// handleSubmit admits a batch of scenarios. Admission is all-or-nothing
+// against the pool: a full queue bounces the whole batch with 429 and
+// an honest Retry-After instead of queueing unboundedly or admitting a
+// torso of the batch.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req schema.BatchRequest
+	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if err := schema.Check(req.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	built := make([]*job, len(req.Jobs))
+	keys := make([]string, len(req.Jobs))
+	for i := range req.Jobs {
+		if err := req.Jobs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		built[i] = buildJob(req.Jobs[i])
+		keys[i] = built[i].key
+	}
+	batch := batchID(keys)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Two passes: decide every member's disposition, reserving pool
+	// capacity as needed; only once the whole batch fits does anything
+	// touch the journal or the queue.
+	const (
+		dispQueue  = iota // new work: journal OpQueued + enqueue
+		dispCached        // result already in the store: journal OpCached
+		dispDedupe        // existing job (running or terminal): no new work
+	)
+	disp := make([]int, len(built))
+	var admitted []budget.Footprint
+	rollback := func() {
+		for _, fp := range admitted {
+			s.pool.Release(fp)
+		}
+	}
+	for i, b := range built {
+		if ex, ok := s.jobs[b.key]; ok {
+			if ex.status.State == schema.JobFailed {
+				// A failed job resubmitted is an explicit retry: it
+				// re-enters the queue (and the breaker's ledger).
+				if err := s.admit(b.fp); err != nil {
+					rollback()
+					s.reject(w, err)
+					return
+				}
+				admitted = append(admitted, b.fp)
+				disp[i] = dispQueue
+				continue
+			}
+			disp[i] = dispDedupe
+			continue
+		}
+		if s.st.Has(b.key) {
+			disp[i] = dispCached
+			continue
+		}
+		if err := s.admit(b.fp); err != nil {
+			rollback()
+			s.reject(w, err)
+			return
+		}
+		admitted = append(admitted, b.fp)
+		disp[i] = dispQueue
+	}
+
+	// Commit: journal first (the promise), then queue (the work).
+	for i, b := range built {
+		switch disp[i] {
+		case dispQueue:
+			detail, _ := json.Marshal(queuedDetail{Spec: b.spec, Batch: batch})
+			if err := s.jnl.Append(store.JournalRecord{
+				Op: store.OpQueued, Job: b.spec.Name, Key: b.key,
+				Owner: s.owner, Detail: detail,
+			}); err != nil {
+				// The journal is sticky-failed: nothing further can be
+				// promised durably. Refuse the batch; already-journaled
+				// members will be recovered as queued at next boot.
+				rollback()
+				writeError(w, http.StatusInternalServerError, "journal: "+err.Error())
+				return
+			}
+			if ex, ok := s.jobs[b.key]; ok {
+				ex.attempts = 0 // fresh cycle for a resubmitted failure
+				s.transition(ex, schema.JobQueued, "")
+				s.queue <- ex
+			} else {
+				s.jobs[b.key] = b
+				s.queue <- b
+			}
+		case dispCached:
+			b.status.State = schema.JobDone
+			b.status.Cached = true
+			s.jobs[b.key] = b
+			st := b.status
+			detail, _ := json.Marshal(terminalDetail{Status: st, Batch: batch})
+			if err := s.jnl.Append(store.JournalRecord{
+				Op: store.OpCached, Job: b.spec.Name, Key: b.key,
+				Owner: s.owner, Detail: detail,
+			}); err != nil {
+				fmt.Fprintf(s.cfg.stderr, "ccserve: journal: %v\n", err)
+			}
+		}
+		s.addToBatch(batch, b.key)
+	}
+	writeJSON(w, http.StatusCreated, s.batchResponseLocked(batch))
+}
+
+// admit runs pool admission; the caller holds s.mu.
+func (s *server) admit(fp budget.Footprint) error {
+	return s.pool.Admit(fp)
+}
+
+// reject writes the 429 for a pool rejection (or a 500 for anything
+// else); the caller holds s.mu.
+func (s *server) reject(w http.ResponseWriter, err error) {
+	var qe *budget.QueueError
+	if !errors.As(err, &qe) {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	retry := int(qe.RetryAfter.Round(time.Second).Seconds())
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(schema.ErrorResponse{ //nolint:errcheck
+		SchemaVersion: schema.Version,
+		Error:         qe.Error(),
+		RetryAfterS:   float64(retry),
+	})
+}
+
+// batchResponseLocked renders a batch's members; the caller holds s.mu.
+func (s *server) batchResponseLocked(batch string) schema.BatchResponse {
+	resp := schema.BatchResponse{SchemaVersion: schema.Version, Batch: batch}
+	for _, k := range s.batches[batch] {
+		if j, ok := s.jobs[k]; ok {
+			resp.Jobs = append(resp.Jobs, j.status)
+		}
+	}
+	return resp
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.batches[id]; !ok {
+		writeError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.batchResponseLocked(id))
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's progress as JSONL: one line per status
+// transition (plus selected run telemetry), until the job is terminal
+// or the client goes away. Subscriber channels are bounded; a slow
+// client drops intermediate telemetry, never blocks the worker.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	first := eventLine("status", j.status)
+	var ch chan []byte
+	terminal := schema.JobTerminal(j.status.State)
+	if !terminal {
+		ch = make(chan []byte, 64)
+		j.subs = append(j.subs, ch)
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(first) //nolint:errcheck
+	flush(w)
+	if terminal {
+		return
+	}
+	defer s.unsubscribe(key, ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.runCtx.Done():
+			return
+		case line, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			flush(w)
+		}
+	}
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func eventLine(typ string, v any) []byte {
+	line, err := json.Marshal(struct {
+		Type string `json:"type"`
+		Data any    `json:"data"`
+	}{typ, v})
+	if err != nil {
+		return nil
+	}
+	return append(line, '\n')
+}
+
+func (s *server) unsubscribe(key string, ch chan []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[key]
+	if !ok {
+		return
+	}
+	for i, c := range j.subs {
+		if c == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// publish sends one event line to a job's subscribers, dropping for
+// slow ones; the caller holds s.mu.
+func (s *server) publish(j *job, line []byte) {
+	if line == nil {
+		return
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- line:
+		default: // slow subscriber: drop rather than block the worker
+		}
+	}
+}
+
+// transition moves a job to a new state and notifies subscribers,
+// closing their streams on terminal states; the caller holds s.mu.
+func (s *server) transition(j *job, state, errMsg string) {
+	j.status.State = state
+	j.status.Error = errMsg
+	j.status.Attempts = j.attempts
+	s.publish(j, eventLine("status", j.status))
+	if schema.JobTerminal(state) {
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := schema.HealthResponse{SchemaVersion: schema.Version, State: schema.ServerReady}
+	if s.draining {
+		resp.State = schema.ServerDraining
+	}
+	for _, j := range s.jobs {
+		switch j.status.State {
+		case schema.JobQueued:
+			resp.Queued++
+		case schema.JobRunning:
+			resp.Running++
+		}
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if resp.State != schema.ServerReady {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// workerLoop claims queued jobs until drain.
+func (s *server) workerLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case j := <-s.queue:
+			select {
+			case <-s.drainCh:
+				// Drained between dequeue and start: the job keeps its
+				// journaled OpQueued and runs at next boot.
+				return
+			default:
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end: lease, claim record, deadline,
+// run, commit. Its panic net mirrors cmd/reproduce's — the supervisor
+// catches simulation panics, this catches everything around them.
+func (s *server) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(s.cfg.stderr, "ccserve: job %s: panic outside supervisor: %v\n%s", j.spec.Name, r, debug.Stack())
+			s.mu.Lock()
+			s.jobFailed(j, fmt.Sprintf("panic outside supervisor: %v", r))
+			s.mu.Unlock()
+		}
+	}()
+
+	lease, err := s.acquireJobLease(j)
+	if err != nil {
+		s.mu.Lock()
+		s.jobFailed(j, "lease: "+err.Error())
+		s.mu.Unlock()
+		return
+	}
+	defer lease.Release()
+
+	// Serve from the store before computing: after a crash between
+	// store commit and journal commit, the recomputation would be
+	// wasted work and a duplicate OpDone. This check is what keeps
+	// "at most one OpDone per key" an invariant instead of a hope.
+	if s.st.Has(j.key) {
+		s.mu.Lock()
+		j.status.Cached = true
+		detail, _ := json.Marshal(terminalDetail{Status: statusFor(j, schema.JobDone, "")})
+		s.journalTerminal(store.OpCached, j, detail)
+		s.pool.Release(j.fp)
+		s.transition(j, schema.JobDone, "")
+		s.mu.Unlock()
+		return
+	}
+
+	s.mu.Lock()
+	j.attempts++
+	detail, _ := json.Marshal(queuedDetail{Spec: j.spec})
+	if err := s.jnl.Append(store.JournalRecord{
+		Op: store.OpClaimed, Job: j.spec.Name, Key: j.key,
+		Owner: s.owner, Detail: detail,
+	}); err != nil {
+		s.jobFailed(j, "journal: "+err.Error())
+		s.mu.Unlock()
+		return
+	}
+	s.transition(j, schema.JobRunning, "")
+	s.mu.Unlock()
+
+	// Deadline from the estimator; lease heartbeat cancels on loss.
+	jobCtx, cancelJob := context.WithTimeout(s.runCtx, j.deadline(s.cfg.deadlineFactor, s.cfg.minDeadline))
+	defer cancelJob()
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		tick := time.NewTicker(s.cfg.leaseHeartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if lease.Heartbeat() != nil || !lease.Confirm() {
+					cancelJob()
+					return
+				}
+			}
+		}
+	}()
+
+	cfg := j.config()
+	cfg.Collector = telemetry.Multi(s.reg.Instrument(), s.subscriberCollector(j))
+	start := time.Now()
+	results, err := core.RunManyCtx(jobCtx, []core.RunConfig{cfg}, core.SweepOptions{
+		Parallelism: 1,
+		Retries:     s.cfg.retries,
+	})
+	close(hbStop)
+	hbDone.Wait()
+	wall := time.Since(start)
+
+	if err == nil {
+		var buf bytes.Buffer
+		tab := renderResult(j.spec, results[0])
+		if werr := tab.WriteJSON(&buf); werr != nil {
+			err = werr
+		} else if perr := s.st.Put(j.key, buf.Bytes()); perr != nil {
+			err = perr
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		j.failures = 0
+		j.status.WallMs = float64(wall.Milliseconds())
+		detail, _ := json.Marshal(terminalDetail{Status: statusFor(j, schema.JobDone, "")})
+		s.journalTerminal(store.OpDone, j, detail)
+		s.pool.Release(j.fp)
+		s.transition(j, schema.JobDone, "")
+		return
+	}
+	// A drain (or server-wide cancel) interrupting the run is a
+	// checkpoint, not a failure: the journaled OpQueued/OpClaimed
+	// stands, no terminal is written, and the next boot re-runs the
+	// job. The store stayed untouched, so the re-run commits the same
+	// bytes the uninterrupted run would have.
+	if s.runCtx.Err() != nil && isCancellation(err) {
+		j.status.State = schema.JobQueued
+		return
+	}
+	s.jobFailed(j, err.Error())
+	var re *core.RunError
+	if errors.As(err, &re) && j.status.State == schema.JobQuarantined {
+		// Park a replayable record beside the store so the quarantine
+		// can be debugged offline (`ccatscale replay -in`).
+		path := filepath.Join(s.cfg.out, j.key+".failed.json")
+		var buf bytes.Buffer
+		if werr := re.WriteJSON(&buf); werr == nil {
+			if werr := store.WriteFileAtomicFS(s.fsys, path, buf.Bytes()); werr != nil {
+				fmt.Fprintf(s.cfg.stderr, "ccserve: writing %s: %v\n", path, werr)
+			}
+		}
+	}
+}
+
+// statusFor previews a job's status in a target state without mutating
+// it; used to serialize the terminal detail before transition runs.
+func statusFor(j *job, state, errMsg string) schema.JobStatus {
+	st := j.status
+	st.State = state
+	st.Error = errMsg
+	st.Attempts = j.attempts
+	return st
+}
+
+// isCancellation reports whether err is context-cancellation fallout
+// (directly, or a RunError whose reason records the cancel).
+func isCancellation(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return true
+	}
+	var re *core.RunError
+	return errors.As(err, &re) && (len(re.Reason) >= 12 && re.Reason[:12] == "run canceled")
+}
+
+// jobFailed records a failure, trips the breaker past the threshold,
+// journals the terminal op, and releases pool capacity; the caller
+// holds s.mu.
+func (s *server) jobFailed(j *job, msg string) {
+	j.failures++
+	op, state := store.OpFailed, schema.JobFailed
+	if j.failures >= s.cfg.breakerAfter {
+		op, state = store.OpQuarantined, schema.JobQuarantined
+		msg = fmt.Sprintf("quarantined after %d failures: %s", j.failures, msg)
+	}
+	detail, _ := json.Marshal(terminalDetail{Status: statusFor(j, state, msg)})
+	s.journalTerminal(op, j, detail)
+	s.pool.Release(j.fp)
+	s.transition(j, state, msg)
+}
+
+// journalTerminal appends a terminal record, logging (not failing) on
+// error: the in-memory state and the idempotent store still advance,
+// and the next boot re-derives whatever the journal missed. The caller
+// holds s.mu.
+func (s *server) journalTerminal(op string, j *job, detail []byte) {
+	if err := s.jnl.Append(store.JournalRecord{
+		Op: op, Job: j.spec.Name, Key: j.key, Owner: s.owner, Detail: detail,
+	}); err != nil {
+		fmt.Fprintf(s.cfg.stderr, "ccserve: journal %s %s: %v\n", op, j.key, err)
+	}
+}
+
+// acquireJobLease claims a job's lease, waiting out a stale holder (a
+// crashed predecessor's claim) but giving up at drain.
+func (s *server) acquireJobLease(j *job) (*store.Lease, error) {
+	for {
+		lease, err := s.leases.Acquire(j.spec.Name)
+		if err == nil {
+			return lease, nil
+		}
+		if !errors.Is(err, store.ErrLeaseHeld) {
+			return nil, err
+		}
+		select {
+		case <-s.drainCh:
+			return nil, err
+		case <-time.After(s.cfg.leaseHeartbeat):
+		}
+	}
+}
+
+// subscriberCollector forwards a thin slice of run telemetry to the
+// job's event-stream subscribers: lifecycle and degradation, not the
+// per-packet firehose.
+func (s *server) subscriberCollector(j *job) telemetry.Collector {
+	return telemetry.CollectorFunc(func(ev telemetry.Event) {
+		switch ev.Kind {
+		case telemetry.KindRunStart, telemetry.KindRunEnd, telemetry.KindDegraded,
+			telemetry.KindLinkDown, telemetry.KindLinkUp:
+		default:
+			return
+		}
+		line := eventLine("telemetry", map[string]any{
+			"kind":  ev.Kind.String(),
+			"label": ev.Label,
+			"a":     ev.A,
+			"b":     ev.B,
+		})
+		s.mu.Lock()
+		s.publish(j, line)
+		s.mu.Unlock()
+	})
+}
+
+// setDraining flips the server to draining (healthz 503, submits 503).
+func (s *server) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain performs the graceful-shutdown protocol: stop admitting, let
+// workers finish within the grace period, then cancel what remains —
+// cancelled jobs keep their journaled pending records and re-run at
+// next boot. Idempotent; calls after the first return immediately.
+func (s *server) Drain() {
+	s.drainOnce.Do(s.drain)
+}
+
+func (s *server) drain() {
+	s.setDraining()
+	close(s.drainCh)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.drainTimeout):
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+	s.releaseSingleton()
+	if err := s.jnl.Close(); err != nil {
+		fmt.Fprintf(s.cfg.stderr, "ccserve: closing journal: %v\n", err)
+	}
+}
+
+// hostname names this machine for lease ownership and journal segment
+// names, degrading to a constant when the kernel will not say.
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "host"
+	}
+	return h
+}

@@ -115,6 +115,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and a /metricsz telemetry snapshot on this address (e.g. localhost:6060)")
 	workers := fs.Int("workers", 1, "concurrent lease-claiming worker loops in this process (start more `reproduce -resume` processes on the same -out to shard across processes)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "job lease staleness deadline: a claim whose heartbeat is older may be taken over by another worker")
+	leaseHeartbeat := fs.Duration("lease-heartbeat", 0, "lease refresh interval (0 = ttl/6); must be under a third of -lease-ttl")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -124,6 +125,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *leaseTTL <= 0 {
 		fmt.Fprintln(stderr, "reproduce: -lease-ttl must be positive")
+		return 2
+	}
+	if *leaseHeartbeat == 0 {
+		*leaseHeartbeat = store.DefaultHeartbeat(*leaseTTL)
+	}
+	if err := store.ValidateHeartbeat(*leaseHeartbeat, *leaseTTL); err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
 		return 2
 	}
 
@@ -377,11 +385,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *pprofAddr != "" {
 		regColl = reg.Instrument()
-		addr, err := startDebugServer(*pprofAddr, reg)
+		addr, stopDebug, err := startDebugServer(*pprofAddr, reg)
 		if err != nil {
 			fmt.Fprintln(stderr, "reproduce:", err)
 			return 1
 		}
+		defer stopDebug()
 		fmt.Fprintf(stderr, "reproduce: debug server on http://%s (/debug/pprof/, /metricsz)\n", addr)
 	}
 
@@ -518,7 +527,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		hbDone.Add(1)
 		go func() {
 			defer hbDone.Done()
-			tick := time.NewTicker(*leaseTTL / 3)
+			tick := time.NewTicker(*leaseHeartbeat)
 			defer tick.Stop()
 			for {
 				select {

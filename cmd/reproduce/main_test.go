@@ -479,6 +479,15 @@ func TestBadFlags(t *testing.T) {
 	if !strings.Contains(stderr.String(), "typo_job") {
 		t.Fatalf("stderr does not name the unmatched job:\n%s", &stderr)
 	}
+	// A heartbeat at or above a third of the TTL is a takeover hazard
+	// and is rejected up front, not discovered mid-sweep.
+	stderr.Reset()
+	if code := run([]string{"-out", t.TempDir(), "-lease-ttl", "9s", "-lease-heartbeat", "3s"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("heartbeat ≥ ttl/3 exit = %d, want 2\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "heartbeat") {
+		t.Fatalf("stderr does not explain the heartbeat rejection:\n%s", &stderr)
+	}
 }
 
 func TestWriteTableChecksErrors(t *testing.T) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -12,10 +13,12 @@ import (
 
 // startDebugServer serves net/http/pprof and a /metricsz JSON snapshot
 // of the telemetry registry on addr (e.g. "localhost:6060"). It returns
-// the bound address, so addr may use port 0 for an ephemeral port. The
-// server is opt-in and observation-only; it lives for the process and
-// needs no shutdown.
-func startDebugServer(addr string, reg *telemetry.Registry) (string, error) {
+// the bound address — addr may use port 0 for an ephemeral port — and a
+// shutdown function the caller must invoke on exit: a graceful Shutdown
+// lets an in-flight /metricsz scrape finish reading the final counters
+// and releases the listener (tests that start sweeps in-process would
+// otherwise leak one per run).
+func startDebugServer(addr string, reg *telemetry.Registry) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -32,9 +35,14 @@ func startDebugServer(addr string, reg *telemetry.Registry) (string, error) {
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // dies with the process
-	return ln.Addr().String(), nil
+	go srv.Serve(ln) //nolint:errcheck // Shutdown below reaps it
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best effort at exit
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -1,0 +1,109 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPoolSlotBackpressure(t *testing.T) {
+	p := NewPool(nil, 2, 1)
+	f := Footprint{Wall: 10 * time.Second}
+	if err := p.Admit(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(f); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Admit(f)
+	var qe *QueueError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third admit = %v, want *QueueError", err)
+	}
+	if qe.Kind != KindSlots {
+		t.Fatalf("kind = %s, want %s", qe.Kind, KindSlots)
+	}
+	if qe.RetryAfter < time.Second {
+		t.Fatalf("retry-after = %v, want ≥ 1s", qe.RetryAfter)
+	}
+	// Releasing one slot makes room again.
+	p.Release(f)
+	if err := p.Admit(f); err != nil {
+		t.Fatalf("admit after release = %v", err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", p.Depth())
+	}
+}
+
+func TestPoolBudgetBackpressure(t *testing.T) {
+	p := NewPool(&Budget{HeapBytes: 100}, 100, 1)
+	if err := p.Admit(Footprint{HeapBytes: 60}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Admit(Footprint{HeapBytes: 60})
+	var qe *QueueError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over-budget admit = %v, want *QueueError", err)
+	}
+	if qe.Kind != KindHeapBytes || qe.Observed != 120 || qe.Limit != 100 {
+		t.Fatalf("breach = %+v", qe)
+	}
+	// A rejected admission reserves nothing: a smaller job still fits.
+	if err := p.Admit(Footprint{HeapBytes: 30}); err != nil {
+		t.Fatalf("smaller admit after rejection = %v", err)
+	}
+}
+
+func TestPoolForceBypassesLimits(t *testing.T) {
+	p := NewPool(&Budget{HeapBytes: 10}, 1, 1)
+	p.Force(Footprint{HeapBytes: 50})
+	p.Force(Footprint{HeapBytes: 50})
+	if p.Depth() != 2 {
+		t.Fatalf("depth after force = %d, want 2", p.Depth())
+	}
+	// Normal admission now sees a full pool.
+	if err := p.Admit(Footprint{}); err == nil {
+		t.Fatal("admit into forced-full pool succeeded")
+	}
+}
+
+func TestPoolRetryAfterScalesWithParallelism(t *testing.T) {
+	serial := NewPool(nil, 1, 1)
+	wide := NewPool(nil, 1, 4)
+	f := Footprint{Wall: 80 * time.Second}
+	if err := serial.Admit(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Admit(f); err != nil {
+		t.Fatal(err)
+	}
+	var se, we *QueueError
+	if !errors.As(serial.Admit(f), &se) || !errors.As(wide.Admit(f), &we) {
+		t.Fatal("expected queue errors")
+	}
+	if se.RetryAfter != 80*time.Second {
+		t.Fatalf("serial retry-after = %v, want 80s", se.RetryAfter)
+	}
+	if we.RetryAfter != 20*time.Second {
+		t.Fatalf("wide retry-after = %v, want 20s", we.RetryAfter)
+	}
+}
+
+func TestPoolReleaseClampsAtZero(t *testing.T) {
+	p := NewPool(&Budget{HeapBytes: 100}, 4, 1)
+	f := Footprint{HeapBytes: 40}
+	if err := p.Admit(f); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	p.Release(f) // double release must not underflow into spare capacity
+	if p.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", p.Depth())
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Admit(f); err != nil {
+			t.Fatalf("admit %d after double release = %v", i, err)
+		}
+	}
+}

@@ -357,6 +357,23 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 	}
 	cfg = cfg.withDefaults()
 
+	// A context deadline is a harder promise than WallLimit: the caller
+	// (a server's per-job deadline, a batch driver's shutdown grace)
+	// needs the run stopped AND its outcome committed before it expires.
+	// The interrupt hook checks ctx before WallLimit, so a ctx-done stop
+	// surfaces as a non-retryable cancellation; clamping WallLimit just
+	// under the deadline makes the wall-clock watchdog win the race
+	// instead, which surfaces as a replayable, degradable "wall-clock"
+	// RunError and leaves the 5% margin for the commit.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			clamped := rem - rem/20
+			if cfg.WallLimit <= 0 || clamped < cfg.WallLimit {
+				cfg.WallLimit = clamped
+			}
+		}
+	}
+
 	// The horizon cap is decidable before anything runs, so it rejects at
 	// admission even when Run is called directly (not through RunManyCtx).
 	if b := cfg.Budget; !b.Unlimited() && b.Horizon > 0 && cfg.Warmup+cfg.Duration > b.Horizon {

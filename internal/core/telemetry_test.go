@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ccatscale/internal/budget"
 	"ccatscale/internal/sim"
@@ -150,6 +151,42 @@ func TestRunCtxCancellation(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "run canceled") || !strings.Contains(err.Error(), "test deadline") {
 		t.Fatalf("error should name the cancellation cause: %v", err)
+	}
+}
+
+// TestRunCtxDeadlineBecomesWallLimit: a context deadline clamps the
+// wall-clock watchdog under it, so the stop surfaces as the replayable,
+// retryable "wall-clock" RunError (the degradation ladder's trigger)
+// rather than an opaque cancellation, and the run returns with margin
+// left before the deadline for the caller to commit the outcome.
+func TestRunCtxDeadlineBecomesWallLimit(t *testing.T) {
+	cfg := telemetryTestConfig(nil)
+	cfg.Duration = 10 * sim.Minute // far more virtual work than 300ms of wall
+	deadline := 300 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err := RunCtx(ctx, cfg)
+	elapsed := time.Since(start)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("deadline stop should surface as *RunError, got %T: %v", err, err)
+	}
+	if !strings.HasPrefix(re.Reason, "wall-clock") {
+		t.Fatalf("reason = %q, want wall-clock watchdog (not ctx cancellation)", re.Reason)
+	}
+	if elapsed >= deadline+200*time.Millisecond {
+		t.Fatalf("run returned %v after a %v deadline", elapsed, deadline)
+	}
+	// An explicit tighter WallLimit still wins over a looser deadline.
+	cfg2 := telemetryTestConfig(nil)
+	cfg2.Duration = 10 * sim.Minute
+	cfg2.WallLimit = 50 * time.Millisecond
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	_, err = RunCtx(ctx2, cfg2)
+	if !errors.As(err, &re) || !strings.Contains(re.Reason, "50ms") {
+		t.Fatalf("tighter WallLimit should fire unchanged, got %v", err)
 	}
 }
 

@@ -1,0 +1,187 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Serving shapes: the JSON bodies cmd/ccserve accepts and returns.
+// They live here, beside the version they are stamped with, so clients
+// and server agree on one declaration — and so the shapes stay plain
+// data with no dependency on simulator types (durations are seconds,
+// rates are Mbps, buffers are bytes).
+
+// Job lifecycle states reported by the server. A job enters "queued" at
+// admission, moves to "running" when a worker claims it, and ends in
+// exactly one terminal state. "done" covers both computed and
+// cache-served results (JobStatus.Cached distinguishes them);
+// "quarantined" means the circuit breaker parked the job after repeated
+// failures of the same config hash.
+const (
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobDone        = "done"
+	JobFailed      = "failed"
+	JobRejected    = "rejected"
+	JobQuarantined = "quarantined"
+)
+
+// JobTerminal reports whether a job state is final.
+func JobTerminal(state string) bool {
+	switch state {
+	case JobDone, JobFailed, JobRejected, JobQuarantined:
+		return true
+	}
+	return false
+}
+
+// FlowGroup describes Count identical flows in a scenario.
+type FlowGroup struct {
+	// CCA is the congestion control algorithm ("reno", "cubic", "bbr",
+	// "bbrv2").
+	CCA string `json:"cca"`
+	// RTTMs is the flows' base round-trip time in milliseconds.
+	RTTMs float64 `json:"rttMs"`
+	// Count is how many such flows to run (≥1).
+	Count int `json:"count"`
+}
+
+// JobSpec is one scenario configuration a client submits. Name plus
+// Seed plus the scenario fields form the job's identity: the server
+// hashes the scenario (not the name) into the result key, so two
+// differently-named but identical scenarios share one cached result.
+type JobSpec struct {
+	// Name labels the job in status output and result files. It becomes
+	// part of file names, so it is restricted to [A-Za-z0-9._-].
+	Name string `json:"name"`
+	// Seed seeds the simulation.
+	Seed uint64 `json:"seed"`
+	// RateMbps is the bottleneck bandwidth in Mbps.
+	RateMbps float64 `json:"rateMbps"`
+	// BufferBytes is the drop-tail queue capacity.
+	BufferBytes int64 `json:"bufferBytes"`
+	// Flows lists the flow groups; at least one, each non-empty.
+	Flows []FlowGroup `json:"flows"`
+	// WarmupS is the excluded start-up period in virtual seconds.
+	WarmupS float64 `json:"warmupS,omitempty"`
+	// DurationS is the measurement window in virtual seconds.
+	DurationS float64 `json:"durationS"`
+	// StaggerS is the random start window in virtual seconds.
+	StaggerS float64 `json:"staggerS,omitempty"`
+	// AQM overrides the bottleneck discipline ("" = drop-tail).
+	AQM string `json:"aqm,omitempty"`
+}
+
+// Validate rejects specs the simulator cannot run or the store cannot
+// key. It is the server's first line of defense: everything past it may
+// be journaled, so nothing un-runnable should survive it.
+func (s *JobSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("schema: job has no name")
+	}
+	for i := 0; i < len(s.Name); i++ {
+		c := s.Name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.'
+		if !ok {
+			return fmt.Errorf("schema: job name %q: character %q not in [A-Za-z0-9._-]", s.Name, c)
+		}
+	}
+	if strings.HasPrefix(s.Name, ".") {
+		return fmt.Errorf("schema: job name %q must not start with a dot", s.Name)
+	}
+	if s.RateMbps <= 0 {
+		return fmt.Errorf("schema: job %s: rateMbps %v must be positive", s.Name, s.RateMbps)
+	}
+	if s.BufferBytes <= 0 {
+		return fmt.Errorf("schema: job %s: bufferBytes %d must be positive", s.Name, s.BufferBytes)
+	}
+	if s.DurationS <= 0 {
+		return fmt.Errorf("schema: job %s: durationS %v must be positive", s.Name, s.DurationS)
+	}
+	if s.WarmupS < 0 || s.StaggerS < 0 {
+		return fmt.Errorf("schema: job %s: warmupS/staggerS must be non-negative", s.Name)
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("schema: job %s: no flow groups", s.Name)
+	}
+	for i, g := range s.Flows {
+		if g.CCA == "" {
+			return fmt.Errorf("schema: job %s: flow group %d has no cca", s.Name, i)
+		}
+		if g.RTTMs <= 0 {
+			return fmt.Errorf("schema: job %s: flow group %d rttMs %v must be positive", s.Name, i, g.RTTMs)
+		}
+		if g.Count < 1 {
+			return fmt.Errorf("schema: job %s: flow group %d count %d must be ≥1", s.Name, i, g.Count)
+		}
+	}
+	return nil
+}
+
+// BatchRequest is the body of POST /v1/batches.
+type BatchRequest struct {
+	// SchemaVersion must carry a major this server reads.
+	SchemaVersion string `json:"schema_version"`
+	// Jobs are the scenarios to run; admission is all-or-nothing per
+	// batch, so one oversized job bounces the whole request rather than
+	// leaving a half-admitted batch.
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	// Name is the client's label from the JobSpec.
+	Name string `json:"name"`
+	// Key is the content address of the result in the store.
+	Key string `json:"key"`
+	// State is one of the Job* lifecycle constants.
+	State string `json:"state"`
+	// Cached reports that the result was served from the store without
+	// recomputation.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure or rejection reason for terminal
+	// non-done states.
+	Error string `json:"error,omitempty"`
+	// Attempts counts executions of this job, including the failed ones
+	// the circuit breaker watched.
+	Attempts int `json:"attempts,omitempty"`
+	// WallMs is the wall-clock time the finished run consumed.
+	WallMs float64 `json:"wallMs,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batches (201) and
+// of GET /v1/batches/{id}.
+type BatchResponse struct {
+	SchemaVersion string `json:"schema_version"`
+	// Batch identifies the admitted batch; it is a hash of the member
+	// keys, so resubmitting the same scenarios addresses the same batch.
+	Batch string `json:"batch"`
+	// Jobs reports every member's current status, in submission order.
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx ccserve reply.
+type ErrorResponse struct {
+	SchemaVersion string `json:"schema_version"`
+	Error         string `json:"error"`
+	// RetryAfterS mirrors the Retry-After header on 429 responses.
+	RetryAfterS float64 `json:"retryAfterS,omitempty"`
+}
+
+// Server lifecycle states reported by GET /healthz.
+const (
+	ServerReady    = "ready"
+	ServerDraining = "draining"
+)
+
+// HealthResponse is the body of GET /healthz. The HTTP status carries
+// the same signal for probes that only look at codes: 200 when ready,
+// 503 when draining.
+type HealthResponse struct {
+	SchemaVersion string `json:"schema_version"`
+	State         string `json:"state"`
+	// Queued and Running count jobs not yet terminal.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}

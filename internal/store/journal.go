@@ -40,7 +40,38 @@ const (
 	// content-addressed store without recomputation — the counter the
 	// exactly-once acceptance test asserts on.
 	OpCached = "cached"
+	// OpQueued admits a job into a server's queue: the record's Detail
+	// carries the full request spec, so a crashed server re-enqueues the
+	// job from the journal alone. OpClaimed marks a worker starting it.
+	// Both are pending ops — an OpQueued/OpClaimed with no terminal op
+	// is in-flight work that recovery must resume.
+	OpQueued  = "queued"
+	OpClaimed = "claimed"
+	// OpQuarantined is the circuit breaker's terminal op: the same
+	// config-hash failed repeatedly, so the job is parked with a
+	// replayable RunError instead of retry-looping.
+	OpQuarantined = "quarantined"
 )
+
+// TerminalOp reports whether op resolves a job: no further journal
+// record is expected for it, and recovery does not re-run it.
+func TerminalOp(op string) bool {
+	switch op {
+	case OpDone, OpFailed, OpRejected, OpCached, OpQuarantined:
+		return true
+	}
+	return false
+}
+
+// PendingOp reports whether op opens work that a later terminal op must
+// resolve (an intent, a queue admission, or a worker claim).
+func PendingOp(op string) bool {
+	switch op {
+	case OpIntent, OpQueued, OpClaimed:
+		return true
+	}
+	return false
+}
 
 // JournalRecord is one append-only log entry. Op and Job identify what
 // happened to which unit of work; Key is the content address of the
@@ -219,24 +250,15 @@ func (j *Journal) Append(rec JournalRecord) error {
 	if j.err != nil {
 		return j.err
 	}
-	rec.SchemaVersion = schema.Version
 	rec.Seq = j.seq + 1
 	if rec.At == "" {
 		rec.At = time.Now().UTC().Format(time.RFC3339)
 	}
-	rec.CRC = ""
-	body, err := json.Marshal(rec)
+	line, err := sealLine(rec)
 	if err != nil {
 		j.err = err
 		return err
 	}
-	rec.CRC = fmt.Sprintf("%08x", crc32.Checksum(body, castagnoli))
-	line, err := json.Marshal(rec)
-	if err != nil {
-		j.err = err
-		return err
-	}
-	line = append(line, '\n')
 	if _, err := j.w.Write(line); err != nil {
 		j.err = err
 		return err
@@ -251,6 +273,25 @@ func (j *Journal) Append(rec JournalRecord) error {
 	}
 	j.seq = rec.Seq
 	return nil
+}
+
+// sealLine frames one record for the log: the current schema version is
+// stamped, the CRC-32C computed over the record serialized with CRC
+// zeroed, and the framed line returned newline-terminated. The caller
+// has already assigned Seq and At.
+func sealLine(rec JournalRecord) ([]byte, error) {
+	rec.SchemaVersion = schema.Version
+	rec.CRC = ""
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.CRC = fmt.Sprintf("%08x", crc32.Checksum(body, castagnoli))
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
 }
 
 // Seq returns the sequence number of the last durable record.

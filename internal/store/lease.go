@@ -164,6 +164,32 @@ func (ls *Leases) Acquire(job string) (*Lease, error) {
 	return l, nil
 }
 
+// DefaultHeartbeat returns the heartbeat interval used when the caller
+// does not configure one: ttl/6, which keeps three missed beats inside
+// the safety margin ValidateHeartbeat enforces.
+func DefaultHeartbeat(ttl time.Duration) time.Duration {
+	return ttl / 6
+}
+
+// ValidateHeartbeat rejects heartbeat/TTL pairs that make takeover
+// races likely. The interval must be positive and strictly under a
+// third of the TTL, so a holder can miss two consecutive beats (GC
+// pause, CPU starvation, fsync stall) and still refresh before another
+// worker declares it dead.
+func ValidateHeartbeat(heartbeat, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("store: lease ttl %v must be positive", ttl)
+	}
+	if heartbeat <= 0 {
+		return fmt.Errorf("store: lease heartbeat %v must be positive", heartbeat)
+	}
+	if 3*heartbeat >= ttl {
+		return fmt.Errorf("store: lease heartbeat %v must be under a third of ttl %v (got ratio %.2f); a single stalled beat would invite takeover",
+			heartbeat, ttl, float64(heartbeat)/float64(ttl))
+	}
+	return nil
+}
+
 // Heartbeat advances the lease's liveness clock (its mtime). Holders
 // must call it at least every ttl/2 during long jobs or risk takeover.
 func (l *Lease) Heartbeat() error {

@@ -208,3 +208,36 @@ func TestLeaseHeartbeatPreventsTakeover(t *testing.T) {
 		t.Fatalf("heartbeated lease taken over: %v", err)
 	}
 }
+
+func TestValidateHeartbeat(t *testing.T) {
+	cases := []struct {
+		hb, ttl time.Duration
+		ok      bool
+	}{
+		{time.Second, 10 * time.Second, true},
+		{time.Second, 3100 * time.Millisecond, true}, // 3·hb just under ttl
+		{time.Second, 3 * time.Second, false},        // exactly ttl/3: rejected
+		{2 * time.Second, 3 * time.Second, false},
+		{0, 10 * time.Second, false},
+		{-time.Second, 10 * time.Second, false},
+		{time.Second, 0, false},
+	}
+	for _, c := range cases {
+		err := ValidateHeartbeat(c.hb, c.ttl)
+		if c.ok && err != nil {
+			t.Errorf("ValidateHeartbeat(%v, %v) = %v, want nil", c.hb, c.ttl, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ValidateHeartbeat(%v, %v) = nil, want error", c.hb, c.ttl)
+		}
+	}
+}
+
+func TestDefaultHeartbeatValidates(t *testing.T) {
+	for _, ttl := range []time.Duration{time.Second, 10 * time.Second, time.Hour} {
+		hb := DefaultHeartbeat(ttl)
+		if err := ValidateHeartbeat(hb, ttl); err != nil {
+			t.Errorf("DefaultHeartbeat(%v) = %v fails its own validation: %v", ttl, hb, err)
+		}
+	}
+}

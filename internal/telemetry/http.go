@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// httpLatencyBounds are the inclusive millisecond upper edges of the
+// request-latency histogram: fine enough to separate cache-served from
+// computed responses, coarse enough to stay a handful of atomics.
+var httpLatencyBounds = []int64{1, 5, 20, 100, 500, 2000, 10_000, 60_000}
+
+// HTTPMetrics wraps an http.Handler with per-route instrumentation in
+// reg: a request counter, per-status-class counters, an in-flight
+// gauge, and a latency histogram, all named under the given route label
+// (use the mux pattern, not the raw URL, or cardinality explodes).
+// Instruments resolve once at wrap time; per request the middleware
+// costs a few atomic ops.
+func HTTPMetrics(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	var (
+		requests = reg.Counter("http_requests_total/" + route)
+		inflight = reg.Gauge("http_inflight/" + route)
+		latency  = reg.Histogram("http_latency_ms/"+route, httpLatencyBounds)
+		classes  = [6]*Counter{}
+	)
+	for c := 1; c <= 5; c++ {
+		classes[c] = reg.Counter("http_responses_total/" + route + "/" + strconv.Itoa(c) + "xx")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			inflight.Add(-1)
+			latency.Observe(time.Since(start).Milliseconds())
+			if c := sw.status / 100; c >= 1 && c <= 5 {
+				classes[c].Inc()
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the response status. It forwards Flush so
+// streaming endpoints (the server's per-job event feed) keep working
+// through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMetricsCountsAndClassifies(t *testing.T) {
+	reg := NewRegistry()
+	h := HTTPMetrics(reg, "POST /v1/batches", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("full") == "1" {
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200 via Write
+	}))
+	for i := 0; i < 3; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/batches", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status = %d", rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/batches?full=1", nil))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", rr.Code)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["http_requests_total/POST /v1/batches"]; got != 4 {
+		t.Fatalf("requests = %d, want 4", got)
+	}
+	if got := snap.Counters["http_responses_total/POST /v1/batches/2xx"]; got != 3 {
+		t.Fatalf("2xx = %d, want 3", got)
+	}
+	if got := snap.Counters["http_responses_total/POST /v1/batches/4xx"]; got != 1 {
+		t.Fatalf("4xx = %d, want 1", got)
+	}
+	if got := snap.Gauges["http_inflight/POST /v1/batches"]; got != 0 {
+		t.Fatalf("inflight after completion = %d, want 0", got)
+	}
+	hs, ok := snap.Histograms["http_latency_ms/POST /v1/batches"]
+	if !ok || hs.Count != 4 {
+		t.Fatalf("latency histogram = %+v", hs)
+	}
+}
+
+func TestHTTPMetricsInflightDuringRequest(t *testing.T) {
+	reg := NewRegistry()
+	var seen int64
+	h := HTTPMetrics(reg, "GET /x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = reg.Gauge("http_inflight/GET /x").Load()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if seen != 1 {
+		t.Fatalf("inflight during request = %d, want 1", seen)
+	}
+}
+
+func TestHTTPMetricsPreservesFlusher(t *testing.T) {
+	reg := NewRegistry()
+	flushed := false
+	h := HTTPMetrics(reg, "GET /v1/events", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		w.Write([]byte("event\n"))
+		f.Flush()
+		flushed = true
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/events", nil))
+	if !flushed {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestHTTPMetricsNilRegistryPassesThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := HTTPMetrics(nil, "GET /x", inner); got == nil {
+		t.Fatal("nil registry returned nil handler")
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Load())
+	}
+}

@@ -33,6 +33,10 @@ type Gauge struct {
 // Set stores n.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add adjusts the gauge by delta (negative to decrement) — the shape
+// in-flight tracking needs.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // Max raises the gauge to n if n is larger (a high-water-mark update).
 func (g *Gauge) Max(n int64) {
 	for {
