@@ -169,6 +169,58 @@ func cleanCycle(t *testing.T, dir string, fsys store.FS) string {
 	return storeFingerprint(t, dir)
 }
 
+// TestSubmitJournalFailureMidBatch pins the rollback accounting: when a
+// journal append dies partway through a batch commit, only the members
+// never journaled-and-queued may have their footprints released. The
+// committed ones still run and release their own footprints at
+// completion — releasing them in the rollback too would double-release
+// and let the pool over-admit past -slots. The invariant checked at
+// every kill point: pool depth equals the number of jobs in the queue.
+func TestSubmitJournalFailureMidBatch(t *testing.T) {
+	specs := chaosSpecs()
+	c := specs[0]
+	c.Name, c.Seed = "chaos-c", 13
+	specs = append(specs, c)
+
+	// Probe a healthy boot+submit to learn which op window the commit
+	// loop's appends occupy.
+	probe := chaostest.Wrap(store.OSFS(), chaostest.Plan{})
+	pcfg := chaosServerConfig(t.TempDir(), probe)
+	pcfg.workers = 0
+	ps, err := newServer(pcfg)
+	if err != nil {
+		t.Fatalf("probe boot: %v", err)
+	}
+	bootOps := probe.Ops()
+	if _, rr := submit(t, ps, specs...); rr.Code != http.StatusCreated {
+		t.Fatalf("probe submit: %d: %s", rr.Code, rr.Body.String())
+	}
+	submitOps := probe.Ops() - bootOps
+	ps.Drain()
+	if submitOps == 0 {
+		t.Fatal("probe submit crossed no FS boundaries")
+	}
+
+	for k := bootOps + 1; k <= bootOps+submitOps; k++ {
+		cfs := chaostest.Wrap(store.OSFS(), chaostest.Plan{KillAt: k, TornBytes: 3})
+		cfg := chaosServerConfig(t.TempDir(), cfs)
+		cfg.workers = 0
+		s, err := newServer(cfg)
+		if err != nil {
+			continue // the kill landed inside boot; nothing to check
+		}
+		_, rr := submit(t, s, specs...)
+		s.mu.Lock()
+		queued, depth := len(s.queue), s.pool.Depth()
+		s.mu.Unlock()
+		if depth != queued {
+			t.Errorf("kill@%d: pool depth %d != %d queued jobs (submit returned %d)",
+				k, depth, queued, rr.Code)
+		}
+		s.Drain()
+	}
+}
+
 // TestChaosKillEveryBoundary is the crash-recovery acceptance test: it
 // learns the syscall-op budget of one uninterrupted serve cycle, then
 // for every boundary k kills the server's filesystem mid-cycle at op k,

@@ -30,6 +30,12 @@ type job struct {
 	// status is the externally visible state, streamed to subscribers
 	// on every transition.
 	status schema.JobStatus
+	// gen is the journal generation of the record currently governing
+	// status: 0 for a first submission, +1 each time a failed job is
+	// resubmitted. Journal records carry it so replay and compaction
+	// can order a retry's fresh OpQueued after the failure it retries,
+	// regardless of which segment either landed in.
+	gen uint64
 	// attempts counts executions; failures counts consecutive failed
 	// ones — the circuit breaker's input, replayed from the journal at
 	// boot so a crash does not reset a poisoned config's strike count.

@@ -114,11 +114,11 @@ type server struct {
 	queue     chan *job
 	drainOnce sync.Once
 	drainCh   chan struct{} // closed at drain: workers stop picking up work
-	runCtx  context.Context
-	cancel  context.CancelFunc // cancels in-flight runs past the drain grace
-	wg      sync.WaitGroup     // worker loops
-	hbStop  chan struct{}      // singleton heartbeat
-	hbDone  sync.WaitGroup
+	runCtx    context.Context
+	cancel    context.CancelFunc // cancels in-flight runs past the drain grace
+	wg        sync.WaitGroup     // worker loops
+	hbStop    chan struct{}      // singleton heartbeat
+	hbDone    sync.WaitGroup
 }
 
 // newServer opens the output directory, compacts and replays the
@@ -158,7 +158,6 @@ func newServer(cfg serverConfig) (*server, error) {
 		owner:   owner,
 		jobs:    map[string]*job{},
 		batches: map[string][]string{},
-		queue:   make(chan *job, cfg.slots),
 		drainCh: make(chan struct{}),
 		hbStop:  make(chan struct{}),
 	}
@@ -177,29 +176,41 @@ func newServer(cfg serverConfig) (*server, error) {
 
 	// Replay the WAL: rebuild every job's last known state, then
 	// re-admit whatever was queued or claimed when the last process
-	// died. Stream order within a segment is append order, so the last
-	// record per key wins.
+	// died. Segments replay in lexicographic — not chronological —
+	// order, so replay derives state commutatively from generations,
+	// as OpenJournalSet's contract requires.
 	jnl, _, err := store.OpenJournalSet(fsys, cfg.out, owner, s.replay)
 	if err != nil {
 		s.releaseSingleton()
 		return nil, err
 	}
 	s.jnl = jnl
-	recovered := 0
+	var recovered []*job
 	for _, j := range s.jobs {
 		if schema.JobTerminal(j.status.State) {
 			continue
 		}
 		j.status.State = schema.JobQueued
+		recovered = append(recovered, j)
+	}
+	// The queue is created only now, sized to hold every recovered job:
+	// no worker is running yet, so a channel smaller than the recovered
+	// backlog (a restart with fewer -slots than the dead process had in
+	// flight) would deadlock boot while holding the singleton lease.
+	qcap := cfg.slots
+	if len(recovered) > qcap {
+		qcap = len(recovered)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range recovered {
 		// Force, not Admit: the previous process already promised to
 		// run these. Bouncing them at reboot would turn a crash into
 		// silently dropped work.
 		s.pool.Force(j.fp)
 		s.queue <- j
-		recovered++
 	}
-	if recovered > 0 {
-		fmt.Fprintf(cfg.stderr, "ccserve: recovered %d unfinished jobs from the journal\n", recovered)
+	if len(recovered) > 0 {
+		fmt.Fprintf(cfg.stderr, "ccserve: recovered %d unfinished jobs from the journal\n", len(recovered))
 	}
 
 	// Heartbeat the singleton for the server's lifetime. The stop
@@ -276,6 +287,12 @@ func (s *server) hbStopIfOpen() chan struct{} {
 // (queued/claimed) carry the spec so the job can be rebuilt; terminal
 // ops carry the final status. Failed terminals also feed the circuit
 // breaker so a crash cannot reset a poisoned config's strike count.
+//
+// Records apply by generation, not arrival order — OpenJournalSet
+// replays segments lexicographically, so an older boot's record can
+// arrive after a newer one's. A pending record reopens a job only if
+// it starts a generation no terminal has resolved; a terminal record
+// never downgrades a newer generation's state.
 func (s *server) replay(rec store.JournalRecord) error {
 	switch rec.Op {
 	case store.OpQueued, store.OpClaimed:
@@ -286,9 +303,24 @@ func (s *server) replay(rec store.JournalRecord) error {
 		j, ok := s.jobs[rec.Key]
 		if !ok {
 			j = buildJob(d.Spec)
+			j.gen = rec.Gen
 			s.jobs[j.key] = j
+			s.addToBatch(d.Batch, rec.Key)
+			return nil
 		}
-		j.status.State = schema.JobQueued
+		// A job first seen through a terminal record is a spec-less
+		// stub; the pending record carries the full spec, so restore it
+		// before the job can ever be re-run.
+		if j.setting.Name == "" {
+			nb := buildJob(d.Spec)
+			j.spec, j.setting, j.flows, j.fp = nb.spec, nb.setting, nb.flows, nb.fp
+		}
+		if rec.Gen > j.gen || (rec.Gen == j.gen && !schema.JobTerminal(j.status.State)) {
+			j.gen = rec.Gen
+			j.status.State = schema.JobQueued
+			j.status.Error = ""
+			j.status.Cached = false
+		}
 		s.addToBatch(d.Batch, rec.Key)
 	case store.OpDone, store.OpFailed, store.OpRejected, store.OpCached, store.OpQuarantined:
 		var d terminalDetail
@@ -302,14 +334,20 @@ func (s *server) replay(rec store.JournalRecord) error {
 			j = &job{key: rec.Key, spec: schema.JobSpec{Name: rec.Job}}
 			s.jobs[rec.Key] = j
 		}
-		if d.Status.Key != "" {
-			j.status = d.Status
-		} else {
-			j.status = schema.JobStatus{Name: rec.Job, Key: rec.Key, State: schema.JobDone}
-		}
 		if rec.Op == store.OpFailed {
+			// Strikes are monotone across generations: a failure that
+			// was later retried still happened, and the breaker must
+			// not forget it on reboot.
 			j.failures++
 			j.attempts++
+		}
+		if !ok || rec.Gen >= j.gen {
+			j.gen = rec.Gen
+			if d.Status.Key != "" {
+				j.status = d.Status
+			} else {
+				j.status = schema.JobStatus{Name: rec.Job, Key: rec.Key, State: schema.JobDone}
+			}
 		}
 		s.addToBatch(d.Batch, rec.Key)
 	}
@@ -404,8 +442,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	)
 	disp := make([]int, len(built))
 	var admitted []budget.Footprint
+	// committed counts admitted members that have been journaled and
+	// queued; rollback releases only the rest — a committed job runs and
+	// releases its own footprint at completion, so releasing it here too
+	// would double-release and let the pool over-admit.
+	committed := 0
 	rollback := func() {
-		for _, fp := range admitted {
+		for _, fp := range admitted[committed:] {
 			s.pool.Release(fp)
 		}
 	}
@@ -443,10 +486,18 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, b := range built {
 		switch disp[i] {
 		case dispQueue:
+			// A resubmitted failure opens a new generation of the same
+			// identity; the journaled Gen is what lets compaction and
+			// replay tell this fresh promise from the failure it retries.
+			ex := s.jobs[b.key]
+			gen := uint64(0)
+			if ex != nil {
+				gen = ex.gen + 1
+			}
 			detail, _ := json.Marshal(queuedDetail{Spec: b.spec, Batch: batch})
 			if err := s.jnl.Append(store.JournalRecord{
 				Op: store.OpQueued, Job: b.spec.Name, Key: b.key,
-				Owner: s.owner, Detail: detail,
+				Owner: s.owner, Gen: gen, Detail: detail,
 			}); err != nil {
 				// The journal is sticky-failed: nothing further can be
 				// promised durably. Refuse the batch; already-journaled
@@ -455,7 +506,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusInternalServerError, "journal: "+err.Error())
 				return
 			}
-			if ex, ok := s.jobs[b.key]; ok {
+			committed++
+			if ex != nil {
+				// Replay may have rebuilt ex as a spec-less stub from a
+				// terminal-only journal frontier; and its footprint must
+				// match the one just admitted so the Release at completion
+				// balances. Refresh it all from the freshly built job.
+				ex.spec, ex.setting, ex.flows, ex.fp = b.spec, b.setting, b.flows, b.fp
+				ex.gen = gen
 				ex.attempts = 0 // fresh cycle for a resubmitted failure
 				s.transition(ex, schema.JobQueued, "")
 				s.queue <- ex
@@ -743,7 +801,7 @@ func (s *server) runJob(j *job) {
 	detail, _ := json.Marshal(queuedDetail{Spec: j.spec})
 	if err := s.jnl.Append(store.JournalRecord{
 		Op: store.OpClaimed, Job: j.spec.Name, Key: j.key,
-		Owner: s.owner, Detail: detail,
+		Owner: s.owner, Gen: j.gen, Detail: detail,
 	}); err != nil {
 		s.jobFailed(j, "journal: "+err.Error())
 		s.mu.Unlock()
@@ -873,7 +931,7 @@ func (s *server) jobFailed(j *job, msg string) {
 // holds s.mu.
 func (s *server) journalTerminal(op string, j *job, detail []byte) {
 	if err := s.jnl.Append(store.JournalRecord{
-		Op: op, Job: j.spec.Name, Key: j.key, Owner: s.owner, Detail: detail,
+		Op: op, Job: j.spec.Name, Key: j.key, Owner: s.owner, Gen: j.gen, Detail: detail,
 	}); err != nil {
 		fmt.Fprintf(s.cfg.stderr, "ccserve: journal %s %s: %v\n", op, j.key, err)
 	}

@@ -379,6 +379,152 @@ func TestQuarantineAfterRepeatedFailures(t *testing.T) {
 	}
 }
 
+// writeSegment appends records into the named owner's journal segment,
+// standing in for a previous boot of the server.
+func writeSegment(t *testing.T, dir, owner string, recs ...store.JournalRecord) {
+	t.Helper()
+	j, _, err := store.OpenJournalSet(store.OSFS(), dir, owner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootRecoveryWithFewerSlotsThanBacklog(t *testing.T) {
+	cfg := testServerConfig(t, 0) // no workers: admitted jobs stay queued
+	s := startServer(t, cfg)
+	resp, rr := submit(t, s, testSpec("a", 1), testSpec("b", 2), testSpec("c", 3), testSpec("d", 4))
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: %d: %s", rr.Code, rr.Body.String())
+	}
+	s.Drain()
+
+	// Restart with a single slot. The queue must still hold the whole
+	// recovered backlog before any worker starts, or newServer blocks
+	// forever on its own channel while holding the singleton lease.
+	cfg2 := cfg
+	cfg2.slots = 1
+	cfg2.workers = 2
+	booted := make(chan *server, 1)
+	bootErr := make(chan error, 1)
+	go func() {
+		s2, err := newServer(cfg2)
+		if err != nil {
+			bootErr <- err
+			return
+		}
+		booted <- s2
+	}()
+	select {
+	case err := <-bootErr:
+		t.Fatalf("reboot with slots=1: %v", err)
+	case s2 := <-booted:
+		defer s2.Drain()
+		final := waitBatch(t, s2, resp.Batch, 30*time.Second)
+		for _, j := range final.Jobs {
+			if j.State != schema.JobDone {
+				t.Fatalf("recovered job %s ended %s (%s), want done", j.Name, j.State, j.Error)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("newServer deadlocked recovering a backlog larger than -slots")
+	}
+}
+
+func TestResubmitFailedJobAfterRebootRunsRealSpec(t *testing.T) {
+	spec := testSpec("phoenix", 5)
+
+	// Reference: the spec's true result bytes from an undisturbed server.
+	refCfg := testServerConfig(t, 2)
+	ref := startServer(t, refCfg)
+	resp, rr := submit(t, ref, spec)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("reference submit: %d: %s", rr.Code, rr.Body.String())
+	}
+	if final := waitBatch(t, ref, resp.Batch, 30*time.Second); final.Jobs[0].State != schema.JobDone {
+		t.Fatalf("reference run: %s (%s)", final.Jobs[0].State, final.Jobs[0].Error)
+	}
+	ref.Drain()
+	reference := storeFingerprint(t, refCfg.out)
+
+	// Boot one: an impossible deadline fails the job, leaving a Failed
+	// terminal in the journal.
+	cfg := testServerConfig(t, 1)
+	cfg.minDeadline = time.Nanosecond
+	cfg.deadlineFactor = 1e-9
+	s1 := startServer(t, cfg)
+	resp, rr = submit(t, s1, spec)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("doomed submit: %d: %s", rr.Code, rr.Body.String())
+	}
+	if final := waitBatch(t, s1, resp.Batch, 30*time.Second); final.Jobs[0].State != schema.JobFailed {
+		t.Fatalf("doomed run: %s, want failed", final.Jobs[0].State)
+	}
+	s1.Drain()
+
+	// Boot two: compaction reduces boot one's segment to the terminal
+	// record, so replay rebuilds the job as a spec-less stub. The
+	// resubmission must rehydrate it — the re-run executes the real
+	// scenario and commits the same bytes as the undisturbed run, not a
+	// degenerate zero-config under the real key.
+	cfg2 := cfg
+	cfg2.minDeadline = 30 * time.Second
+	cfg2.deadlineFactor = 4
+	s2 := startServer(t, cfg2)
+	defer s2.Drain()
+	resp, rr = submit(t, s2, spec)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("resubmit after reboot: %d: %s", rr.Code, rr.Body.String())
+	}
+	if final := waitBatch(t, s2, resp.Batch, 60*time.Second); final.Jobs[0].State != schema.JobDone {
+		t.Fatalf("resubmitted run: %s (%s), want done", final.Jobs[0].State, final.Jobs[0].Error)
+	}
+	if got := storeFingerprint(t, cfg.out); got != reference {
+		t.Errorf("resubmitted job committed %s, want the clean run's %s — the stub was not rehydrated", got, reference)
+	}
+}
+
+func TestReplayPendingBeatsStaleTerminalAcrossSegments(t *testing.T) {
+	cfg := testServerConfig(t, 1)
+	spec := testSpec("replayed", 9)
+	built := buildJob(spec)
+	qd, err := json.Marshal(queuedDetail{Spec: spec, Batch: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := json.Marshal(terminalDetail{Status: schema.JobStatus{
+		Name: spec.Name, Key: built.key, State: schema.JobFailed, Error: "boom",
+	}, Batch: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The older boot's segment sorts lexicographically after the newer
+	// boot's, so replay sees the stale gen-0 terminal last. The gen-1
+	// resubmission it retries must still be recovered and run.
+	writeSegment(t, cfg.out, "z-old",
+		store.JournalRecord{Op: store.OpQueued, Job: spec.Name, Key: built.key, Gen: 0, Detail: qd},
+		store.JournalRecord{Op: store.OpFailed, Job: spec.Name, Key: built.key, Gen: 0, Detail: fd},
+	)
+	writeSegment(t, cfg.out, "a-new",
+		store.JournalRecord{Op: store.OpQueued, Job: spec.Name, Key: built.key, Gen: 1, Detail: qd},
+	)
+
+	s := startServer(t, cfg)
+	defer s.Drain()
+	final := waitBatch(t, s, "B", 30*time.Second)
+	if len(final.Jobs) != 1 || final.Jobs[0].State != schema.JobDone {
+		t.Fatalf("replayed batch = %+v, want the gen-1 resubmission recovered and done", final.Jobs)
+	}
+}
+
 func TestEventsStreamDeliversTerminalStatus(t *testing.T) {
 	cfg := testServerConfig(t, 0)
 	s := startServer(t, cfg)

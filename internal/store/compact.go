@@ -17,7 +17,10 @@ import (
 //
 // The retention rule per segment, applied only when every pending op
 // (intent/queued/claimed) in the segment has a terminal op for the same
-// (job, key) somewhere in the whole set:
+// (job, key) of the same or a later generation somewhere in the whole
+// set — generation, not position, is what orders records across
+// segments, so a resubmitted job's fresh OpQueued (gen n+1) is never
+// "resolved" by the old failure (gen n) it is retrying:
 //
 //   - pending ops are dropped — their jobs are resolved;
 //   - of several terminal records for one (job, key), only the last in
@@ -77,14 +80,20 @@ func CompactJournalSet(fs FS, dir string) (dropped int, err error) {
 		segs = append(segs, segment{name: name, recs: recs})
 	}
 
-	// A job is resolved when any segment holds a terminal op for its
-	// (job, key) identity.
-	resolved := map[string]bool{}
+	// resolved maps each (job, key) identity that has a terminal op
+	// anywhere in the set to the highest generation so resolved. A
+	// pending op is settled only by a terminal of its own generation or
+	// later: "a terminal exists somewhere" is not enough, because a
+	// resubmitted failure writes its new OpQueued after — possibly in a
+	// different segment than — the terminal it is retrying.
+	resolved := map[string]uint64{}
 	ident := func(r JournalRecord) string { return r.Job + "\x00" + r.Key }
 	for _, seg := range segs {
 		for _, r := range seg.recs {
 			if TerminalOp(r.Op) {
-				resolved[ident(r)] = true
+				if g, ok := resolved[ident(r)]; !ok || r.Gen > g {
+					resolved[ident(r)] = r.Gen
+				}
 			}
 		}
 	}
@@ -92,9 +101,11 @@ func CompactJournalSet(fs FS, dir string) (dropped int, err error) {
 	for _, seg := range segs {
 		compactable := len(seg.recs) > 0
 		for _, r := range seg.recs {
-			if PendingOp(r.Op) && !resolved[ident(r)] {
-				compactable = false
-				break
+			if PendingOp(r.Op) {
+				if g, ok := resolved[ident(r)]; !ok || g < r.Gen {
+					compactable = false
+					break
+				}
 			}
 		}
 		if !compactable {

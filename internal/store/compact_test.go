@@ -129,6 +129,68 @@ func TestCompactLeavesUnresolvedPendingUntouched(t *testing.T) {
 	}
 }
 
+func TestCompactKeepsResubmittedPendingGeneration(t *testing.T) {
+	dir := t.TempDir()
+	// Boot one ran the job and failed it (generation 0); boot two
+	// accepted a resubmission (generation 1) and died before running it.
+	// The gen-0 terminal must not resolve the gen-1 pending record: that
+	// OpQueued is admitted (201-acknowledged) work recovery must resume.
+	appendSegment(t, dir, "boot1",
+		JournalRecord{Op: OpQueued, Job: "a", Key: "ka", Gen: 0},
+		JournalRecord{Op: OpFailed, Job: "a", Key: "ka", Gen: 0},
+	)
+	appendSegment(t, dir, "boot2",
+		JournalRecord{Op: OpQueued, Job: "a", Key: "ka", Gen: 1},
+	)
+	dropped, err := CompactJournalSet(OSFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boot one's pending op is resolved by its own terminal; boot two's
+	// segment holds an unresolved generation and stays whole.
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (just boot1's resolved queued op)", dropped)
+	}
+	recs := readSegment(t, dir, journalSegment("boot2"))
+	if len(recs) != 1 || recs[0].Op != OpQueued || recs[0].Gen != 1 {
+		t.Fatalf("boot2 segment = %+v, want the gen-1 queued record intact", recs)
+	}
+	recs = readSegment(t, dir, journalSegment("boot1"))
+	if len(recs) != 1 || recs[0].Op != OpFailed {
+		t.Fatalf("boot1 segment = %+v, want just the failed terminal", recs)
+	}
+
+	// Once a terminal of the pending generation (or later) lands, the
+	// whole identity is resolved and every superseded record can go.
+	appendSegment(t, dir, "boot3",
+		JournalRecord{Op: OpDone, Job: "a", Key: "ka", Gen: 1},
+	)
+	if _, err := CompactJournalSet(OSFS(), dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalSegment("boot2"))); !os.IsNotExist(err) {
+		t.Fatalf("resolved gen-1 pending segment not removed: stat err = %v", err)
+	}
+}
+
+func TestCompactSameSegmentResubmission(t *testing.T) {
+	dir := t.TempDir()
+	// A failure and its resubmission inside one server life: the gen-1
+	// queued op is still in flight, so the segment must stay untouched.
+	appendRecords(t, dir,
+		JournalRecord{Op: OpQueued, Job: "a", Key: "ka", Gen: 0},
+		JournalRecord{Op: OpFailed, Job: "a", Key: "ka", Gen: 0},
+		JournalRecord{Op: OpQueued, Job: "a", Key: "ka", Gen: 1},
+	)
+	dropped, err := CompactJournalSet(OSFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 (gen-1 resubmission is unresolved)", dropped)
+	}
+}
+
 func TestCompactCrossSegmentResolution(t *testing.T) {
 	dir := t.TempDir()
 	// Worker one queued and claimed the job, then died; worker two took

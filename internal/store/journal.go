@@ -82,15 +82,22 @@ func PendingOp(op string) bool {
 // must increase by one per record, CRC (CRC-32C over the record
 // serialized with CRC zeroed) detects torn or bit-rotted lines.
 type JournalRecord struct {
-	SchemaVersion string          `json:"schema_version"`
-	Seq           uint64          `json:"seq"`
-	Op            string          `json:"op"`
-	Job           string          `json:"job,omitempty"`
-	Key           string          `json:"key,omitempty"`
-	Owner         string          `json:"owner,omitempty"`
-	At            string          `json:"at,omitempty"`
-	Detail        json.RawMessage `json:"detail,omitempty"`
-	CRC           string          `json:"crc32c"`
+	SchemaVersion string `json:"schema_version"`
+	Seq           uint64 `json:"seq"`
+	Op            string `json:"op"`
+	Job           string `json:"job,omitempty"`
+	Key           string `json:"key,omitempty"`
+	Owner         string `json:"owner,omitempty"`
+	// Gen numbers successive submissions of one (job, key) identity: a
+	// resubmitted failure opens a new generation, and a pending op is
+	// resolved only by a terminal op of the same or a later generation.
+	// Generations are what keep resolution order-safe across segments,
+	// which replay in lexicographic — not chronological — order. Zero
+	// for single-cycle writers (cmd/reproduce).
+	Gen    uint64          `json:"gen,omitempty"`
+	At     string          `json:"at,omitempty"`
+	Detail json.RawMessage `json:"detail,omitempty"`
+	CRC    string          `json:"crc32c"`
 }
 
 // Journal is the append-only write-ahead log. Append marshals, frames,
