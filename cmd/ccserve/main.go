@@ -3,15 +3,19 @@
 // with the footprint estimator, admits them under a global budget
 // (full queue = 429 + Retry-After, never an unbounded goroutine pile),
 // dedupes (config, seed) pairs against the content-addressed result
-// store, executes them on a lease-coordinated worker pool under
-// estimator-derived deadlines, and streams per-job progress.
+// store, and executes them on a fleet of process-isolated worker
+// subprocesses under estimator-derived deadlines and OS-level memory
+// ceilings, streaming per-job progress.
 //
 // Robustness is the point: every admitted job is journaled before it
 // is queued, so SIGKILL at any instant loses no accepted work — the
 // next boot replays the write-ahead log, re-admits the unfinished
 // queue, and serves already-committed results from the store without
 // recomputation. SIGTERM drains gracefully: stop admitting, finish
-// in-flight jobs within a grace period, checkpoint the rest.
+// in-flight jobs within a grace period, checkpoint the rest. Worker
+// processes add fault isolation on top: a config that OOMs or crashes
+// kills one subprocess, not the service, and a config that keeps
+// crashing is quarantined as poisoned after bounded retries.
 package main
 
 import (
@@ -28,9 +32,18 @@ import (
 	"time"
 
 	"ccatscale/internal/budget"
+	"ccatscale/internal/store"
 )
 
 func main() {
+	// Hidden worker mode: the supervisor re-execs this same binary with
+	// the single argument "-worker" and a schema.WorkerJob on stdin.
+	// Dispatch before flag parsing so the worker surface stays frozen —
+	// supervisor flags must never leak into (or gate) the worker
+	// protocol.
+	if len(os.Args) == 2 && os.Args[1] == "-worker" {
+		os.Exit(workerRun(store.OSFS(), os.Stdin, os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -51,6 +64,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		deadlineFactor = fs.Float64("deadline-factor", 4, "wall-clock deadline as a multiple of the estimated wall time")
 		minDeadline    = fs.Duration("min-deadline", 15*time.Second, "floor for per-job deadlines")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs at SIGTERM")
+		inprocess      = fs.Bool("inprocess", false, "run jobs in the server process instead of worker subprocesses (no fault isolation)")
+		workerMem      = fs.Int64("worker-mem", 0, "hard cap on any worker's RLIMIT_AS in bytes (0 = estimator-derived only)")
+		poisonAfter    = fs.Int("poison-after", 3, "worker crashes before a config is poisoned (terminal, survives resubmission)")
+		hedgeFactor    = fs.Float64("hedge-factor", 2, "launch a duplicate worker past this multiple of the estimated wall time (<0 disables)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -59,6 +76,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *workers < 1 {
 		*workers = 1
 	}
+
+	// SIGTERM coverage starts before boot recovery, not after: a drain
+	// signal that lands while the journal is replaying must checkpoint
+	// and exit cleanly, not be dropped on the floor until the listener
+	// is up.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
+
 	cfg := serverConfig{
 		out:            *out,
 		workers:        *workers,
@@ -71,15 +96,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		breakerAfter:   *breaker,
 		drainTimeout:   *drainTimeout,
 		stderr:         stderr,
+		bootCtx:        sigCtx,
 	}
 	if *queueHeap > 0 || *queueWall > 0 {
 		cfg.queueBudget = &budget.Budget{HeapBytes: *queueHeap, Wall: *queueWall}
 	}
+	if !*inprocess {
+		cfg.fleet = &fleetConfig{
+			poisonAfter: *poisonAfter,
+			hedgeFactor: *hedgeFactor,
+			memCap:      *workerMem,
+		}
+	}
 
 	s, err := newServer(cfg)
 	if err != nil {
+		if errors.Is(err, errBootCanceled) {
+			fmt.Fprintf(stdout, "ccserve: %v\n", err)
+			return 0
+		}
 		fmt.Fprintf(stderr, "ccserve: %v\n", err)
 		return 2
+	}
+	if sigCtx.Err() != nil {
+		// Signal landed in the gap between boot completing and the
+		// listener opening: same clean checkpoint, via the normal drain.
+		fmt.Fprintln(stdout, "ccserve: shutdown signal during startup: draining")
+		s.Drain()
+		return 0
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -94,11 +138,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
-	case sig := <-sigCh:
-		fmt.Fprintf(stdout, "ccserve: %v: draining (grace %v)\n", sig, *drainTimeout)
+	case <-sigCtx.Done():
+		fmt.Fprintf(stdout, "ccserve: shutdown signal: draining (grace %v)\n", *drainTimeout)
 	case err := <-errCh:
 		fmt.Fprintf(stderr, "ccserve: serve: %v\n", err)
 		s.Drain()

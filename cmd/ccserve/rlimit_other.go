@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package main
+
+// setWorkerMemLimit is a no-op where RLIMIT_AS is unavailable; the
+// fleet still isolates faults per process, just without the hard
+// address-space ceiling.
+func setWorkerMemLimit(n int64) error { return nil }

@@ -1,0 +1,16 @@
+//go:build linux || darwin
+
+package main
+
+import "syscall"
+
+// setWorkerMemLimit caps this process's virtual address space with
+// RLIMIT_AS. The Go runtime turns an over-limit mmap into a fatal
+// "out of memory" abort (exit 2) — exactly the contained, single-
+// process death the fleet design wants from a mis-scaled config. The
+// limit must sit above the runtime's own address-space reservations;
+// budget.WorkerMemLimit owns that floor.
+func setWorkerMemLimit(n int64) error {
+	lim := syscall.Rlimit{Cur: uint64(n), Max: uint64(n)}
+	return syscall.Setrlimit(syscall.RLIMIT_AS, &lim)
+}

@@ -49,8 +49,20 @@ type serverConfig struct {
 	// drainTimeout bounds how long SIGTERM waits for in-flight jobs
 	// before cancelling their contexts and checkpointing them as queued.
 	drainTimeout time.Duration
-	fsys         store.FS
-	stderr       io.Writer
+	// fleet selects process-isolated execution (see fleetConfig); nil
+	// runs jobs on in-process goroutines as before.
+	fleet *fleetConfig
+	// bootCtx, when set, lets a shutdown signal interrupt boot recovery:
+	// newServer checkpoints between boot phases and returns
+	// errBootCanceled with the singleton released and the journal closed
+	// — the WAL-first design means "checkpoint" is simply leaving the
+	// pending records for the next boot.
+	bootCtx context.Context
+	// bootHook is a test seam invoked after recovery and before the
+	// worker pool starts — the window the startup/drain race lives in.
+	bootHook func()
+	fsys     store.FS
+	stderr   io.Writer
 }
 
 // withDefaults fills unset fields. workers may be explicitly zero — an
@@ -94,6 +106,11 @@ func (c *serverConfig) withDefaults() {
 // reasoning instead of a distributed-systems problem.
 const singletonJob = "ccserve-singleton"
 
+// errBootCanceled reports a boot interrupted by the shutdown signal:
+// nothing was lost — the journal's pending records are the checkpoint —
+// and the process should exit 0.
+var errBootCanceled = errors.New("ccserve: boot interrupted by shutdown signal; state checkpointed in the journal")
+
 // server is the simulation-as-a-service process state.
 type server struct {
 	cfg    serverConfig
@@ -105,6 +122,7 @@ type server struct {
 	pool   *budget.Pool
 	reg    *telemetry.Registry
 	owner  string
+	fleet  *fleetState // nil in in-process mode
 
 	mu       sync.Mutex
 	jobs     map[string]*job     // by result key
@@ -142,7 +160,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	// Become the directory's only server. A predecessor that crashed
 	// holds a lease that goes stale within one TTL; wait it out rather
 	// than failing a restart-after-crash, but refuse a live holder.
-	single, err := acquireSingleton(leases, cfg.leaseTTL)
+	single, err := acquireSingleton(leases, cfg.leaseTTL, cfg.bootCtx)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +180,28 @@ func newServer(cfg serverConfig) (*server, error) {
 		hbStop:  make(chan struct{}),
 	}
 	s.runCtx, s.cancel = context.WithCancel(context.Background())
+	// bootCanceled checks the shutdown signal between boot phases: a
+	// SIGTERM during recovery must checkpoint and exit cleanly, not
+	// plow on into starting workers (the startup/drain race).
+	bootCanceled := func() bool { return cfg.bootCtx != nil && cfg.bootCtx.Err() != nil }
+	if bootCanceled() {
+		s.releaseSingleton()
+		return nil, errBootCanceled
+	}
+
+	if cfg.fleet != nil {
+		fc := *cfg.fleet
+		if err := fc.withDefaults(); err != nil {
+			s.releaseSingleton()
+			return nil, err
+		}
+		poisons, err := store.OpenPoisonsFS(fsys, cfg.out)
+		if err != nil {
+			s.releaseSingleton()
+			return nil, err
+		}
+		s.fleet = &fleetState{cfg: fc, poisons: poisons, workers: map[int]schema.WorkerHealth{}}
+	}
 
 	// With exclusive ownership established, bound the WAL: segments
 	// whose work is all resolved shrink to their outcome frontier, so a
@@ -190,6 +230,18 @@ func newServer(cfg serverConfig) (*server, error) {
 		if schema.JobTerminal(j.status.State) {
 			continue
 		}
+		// A recovered job whose config was poisoned (worker deaths in a
+		// previous life) must not re-run: resolve it now so the WAL
+		// frontier closes instead of re-queueing it every boot. The
+		// Force/Release pair keeps the pool ledger balanced — jobPoisoned
+		// releases what normal recovery would have forced.
+		if s.fleet != nil {
+			if rec, ok := s.fleet.poisons.Get(j.key); ok {
+				s.pool.Force(j.fp)
+				s.jobPoisoned(j, fmt.Sprintf("config poisoned after %d worker crashes: %s", rec.Strikes, rec.Reason))
+				continue
+			}
+		}
 		j.status.State = schema.JobQueued
 		recovered = append(recovered, j)
 	}
@@ -211,6 +263,20 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	if len(recovered) > 0 {
 		fmt.Fprintf(cfg.stderr, "ccserve: recovered %d unfinished jobs from the journal\n", len(recovered))
+	}
+
+	if cfg.bootHook != nil {
+		cfg.bootHook()
+	}
+	// Last checkpoint before anything starts running: a SIGTERM that
+	// landed anywhere during recovery exits here with the re-queued
+	// work still journaled — the next boot recovers it identically.
+	if bootCanceled() {
+		s.releaseSingleton()
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintf(cfg.stderr, "ccserve: closing journal: %v\n", err)
+		}
+		return nil, errBootCanceled
 	}
 
 	// Heartbeat the singleton for the server's lifetime. The stop
@@ -245,9 +311,14 @@ func newServer(cfg serverConfig) (*server, error) {
 }
 
 // acquireSingleton claims the server lease, waiting out a stale
-// predecessor for up to ttl plus a margin.
-func acquireSingleton(leases *store.Leases, ttl time.Duration) (*store.Lease, error) {
+// predecessor for up to ttl plus a margin. A shutdown signal during
+// the wait aborts boot cleanly instead of finishing the claim.
+func acquireSingleton(leases *store.Leases, ttl time.Duration, bootCtx context.Context) (*store.Lease, error) {
 	deadline := time.Now().Add(ttl + 2*time.Second)
+	var cancel <-chan struct{}
+	if bootCtx != nil {
+		cancel = bootCtx.Done()
+	}
 	for {
 		l, err := leases.Acquire(singletonJob)
 		if err == nil {
@@ -259,7 +330,11 @@ func acquireSingleton(leases *store.Leases, ttl time.Duration) (*store.Lease, er
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("ccserve: output directory already served: %w", err)
 		}
-		time.Sleep(200 * time.Millisecond)
+		select {
+		case <-cancel:
+			return nil, errBootCanceled
+		case <-time.After(200 * time.Millisecond):
+		}
 	}
 }
 
@@ -322,7 +397,7 @@ func (s *server) replay(rec store.JournalRecord) error {
 			j.status.Cached = false
 		}
 		s.addToBatch(d.Batch, rec.Key)
-	case store.OpDone, store.OpFailed, store.OpRejected, store.OpCached, store.OpQuarantined:
+	case store.OpDone, store.OpFailed, store.OpRejected, store.OpCached, store.OpQuarantined, store.OpPoisoned:
 		var d terminalDetail
 		if err := json.Unmarshal(rec.Detail, &d); err != nil {
 			return nil
@@ -439,8 +514,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		dispQueue  = iota // new work: journal OpQueued + enqueue
 		dispCached        // result already in the store: journal OpCached
 		dispDedupe        // existing job (running or terminal): no new work
+		dispPoison        // config poisoned: structured refusal, no admission
 	)
 	disp := make([]int, len(built))
+	poisonMsg := make([]string, len(built))
 	var admitted []budget.Footprint
 	// committed counts admitted members that have been journaled and
 	// queued; rollback releases only the rest — a committed job runs and
@@ -468,6 +545,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			disp[i] = dispDedupe
 			continue
+		}
+		// A poisoned config is refused before any capacity is reserved:
+		// its workers died repeatedly, and unlike a quarantine a
+		// resubmission does not clear it.
+		if s.fleet != nil {
+			if rec, ok := s.fleet.poisons.Get(b.key); ok {
+				disp[i] = dispPoison
+				poisonMsg[i] = fmt.Sprintf("config poisoned after %d worker crashes: %s", rec.Strikes, rec.Reason)
+				continue
+			}
 		}
 		if s.st.Has(b.key) {
 			disp[i] = dispCached
@@ -529,6 +616,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			detail, _ := json.Marshal(terminalDetail{Status: st, Batch: batch})
 			if err := s.jnl.Append(store.JournalRecord{
 				Op: store.OpCached, Job: b.spec.Name, Key: b.key,
+				Owner: s.owner, Detail: detail,
+			}); err != nil {
+				fmt.Fprintf(s.cfg.stderr, "ccserve: journal: %v\n", err)
+			}
+		case dispPoison:
+			b.status.State = schema.JobPoisoned
+			b.status.Error = poisonMsg[i]
+			s.jobs[b.key] = b
+			detail, _ := json.Marshal(terminalDetail{Status: b.status, Batch: batch})
+			if err := s.jnl.Append(store.JournalRecord{
+				Op: store.OpPoisoned, Job: b.spec.Name, Key: b.key,
 				Owner: s.owner, Detail: detail,
 			}); err != nil {
 				fmt.Fprintf(s.cfg.stderr, "ccserve: journal: %v\n", err)
@@ -713,12 +811,19 @@ func (s *server) transition(j *job, state, errMsg string) {
 	}
 }
 
+// handleHealth answers both probe questions. Readiness (the default)
+// mirrors the server state in the HTTP code: 200 ready, 503 draining.
+// Liveness (?probe=live) answers 200 whenever the process responds at
+// all — a draining server is alive and mid-checkpoint; restarting it
+// because a readiness-shaped probe said 503 would be the supervisor
+// loop sabotaging the drain protocol.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	resp := schema.HealthResponse{SchemaVersion: schema.Version, State: schema.ServerReady}
+	resp := schema.HealthResponse{SchemaVersion: schema.Version, State: schema.ServerReady, Live: true}
 	if s.draining {
 		resp.State = schema.ServerDraining
 	}
+	resp.Ready = resp.State == schema.ServerReady
 	for _, j := range s.jobs {
 		switch j.status.State {
 		case schema.JobQueued:
@@ -728,8 +833,12 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	if s.fleet != nil {
+		resp.Workers = s.fleet.list()
+		resp.Fleet = s.fleetCounters()
+	}
 	code := http.StatusOK
-	if resp.State != schema.ServerReady {
+	if !resp.Ready && r.URL.Query().Get("probe") != "live" {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)
@@ -754,9 +863,21 @@ func (s *server) workerLoop() {
 				return
 			default:
 			}
-			s.runJob(j)
+			s.execute(j)
 		}
 	}
+}
+
+// execute dispatches a claimed job to whichever execution engine this
+// server was built with: the process-isolated fleet when one is
+// configured, the in-process path otherwise (-inprocess, and the
+// workers' own recursion guard).
+func (s *server) execute(j *job) {
+	if s.fleet != nil {
+		s.runJobFleet(j)
+		return
+	}
+	s.runJob(j)
 }
 
 // runJob executes one job end to end: lease, claim record, deadline,

@@ -62,7 +62,7 @@ func startServer(t *testing.T, cfg serverConfig) *server {
 
 // do runs one request through the server's full mux (so path wildcards
 // and telemetry middleware are exercised) and decodes the JSON reply.
-func do(t *testing.T, s *server, method, path string, body, out any) *httptest.ResponseRecorder {
+func do(t testing.TB, s *server, method, path string, body, out any) *httptest.ResponseRecorder {
 	t.Helper()
 	var rd *bytes.Reader
 	if body != nil {
@@ -85,7 +85,7 @@ func do(t *testing.T, s *server, method, path string, body, out any) *httptest.R
 	return rr
 }
 
-func submit(t *testing.T, s *server, specs ...schema.JobSpec) (schema.BatchResponse, *httptest.ResponseRecorder) {
+func submit(t testing.TB, s *server, specs ...schema.JobSpec) (schema.BatchResponse, *httptest.ResponseRecorder) {
 	t.Helper()
 	var resp schema.BatchResponse
 	rr := do(t, s, "POST", "/v1/batches", schema.BatchRequest{SchemaVersion: schema.Version, Jobs: specs}, &resp)
@@ -93,7 +93,7 @@ func submit(t *testing.T, s *server, specs ...schema.JobSpec) (schema.BatchRespo
 }
 
 // waitBatch polls a batch until every member is terminal.
-func waitBatch(t *testing.T, s *server, batch string, timeout time.Duration) schema.BatchResponse {
+func waitBatch(t testing.TB, s *server, batch string, timeout time.Duration) schema.BatchResponse {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {

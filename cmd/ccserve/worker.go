@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/schema"
+	"ccatscale/internal/store"
+)
+
+// workerRun is the hidden -worker entrypoint: one execution attempt in
+// its own process. The supervisor re-execs this binary, writes a
+// schema.WorkerJob to its stdin, and reads back a single-line
+// schema.WorkerOutcome on stdout; a worker that dies without one
+// crashed, and the supervisor's crash-loop machinery takes over.
+//
+// The worker speaks the same store + lease + journal-adjacent protocol
+// any process would: it claims its hedge-slot lease, heartbeats it,
+// serves from the store when the result already exists, and commits
+// through the store's idempotent Put — so a SIGKILL at any instant
+// leaves nothing a reboot (or a hedge twin) cannot reconcile. The only
+// thing it does NOT touch is the journal: journaling is the
+// supervisor's job, keeping the single-writer-per-segment discipline
+// intact.
+//
+// Exit codes: 0 = an outcome line was written (whatever it says);
+// 3 = the payload itself was unreadable (a supervisor bug, not a job
+// property). Anything else — including the Go runtime's exit 2 on an
+// OOM abort under the RLIMIT_AS ceiling — is a crash.
+func workerRun(fsys store.FS, stdin io.Reader, stdout, stderr io.Writer) int {
+	var wj schema.WorkerJob
+	if err := json.NewDecoder(stdin).Decode(&wj); err != nil {
+		fmt.Fprintf(stderr, "ccserve worker: decoding payload: %v\n", err)
+		return 3
+	}
+	if err := schema.Check(wj.SchemaVersion); err != nil {
+		fmt.Fprintf(stderr, "ccserve worker: %v\n", err)
+		return 3
+	}
+	if wj.Out == "" || wj.Owner == "" {
+		fmt.Fprintln(stderr, "ccserve worker: payload missing out/owner")
+		return 3
+	}
+	outcome := func(state string, mut func(*schema.WorkerOutcome)) int {
+		o := schema.WorkerOutcome{SchemaVersion: schema.Version, State: state}
+		if mut != nil {
+			mut(&o)
+		}
+		line, err := json.Marshal(o)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccserve worker: encoding outcome: %v\n", err)
+			return 4
+		}
+		fmt.Fprintf(stdout, "%s\n", line)
+		return 0
+	}
+	failed := func(msg string) int {
+		return outcome(schema.WorkerFailed, func(o *schema.WorkerOutcome) { o.Error = msg })
+	}
+
+	if err := wj.Spec.Validate(); err != nil {
+		return failed("spec: " + err.Error())
+	}
+	// The memory ceiling goes on before the first big allocation: from
+	// here, a config whose appetite outgrows its estimate dies *here*,
+	// alone, as a runtime OOM abort the supervisor reads as a strike.
+	if wj.MemLimitBytes > 0 {
+		if err := setWorkerMemLimit(wj.MemLimitBytes); err != nil {
+			fmt.Fprintf(stderr, "ccserve worker: rlimit: %v\n", err)
+		}
+	}
+	j := buildJob(wj.Spec)
+	if wj.Key != "" && j.key != wj.Key {
+		// Supervisor and worker disagree on the job's identity (version
+		// skew across a re-exec?): running would commit under the wrong
+		// address. Refuse as a failure, not a crash — respawning cannot
+		// fix a disagreement.
+		return failed(fmt.Sprintf("key mismatch: supervisor says %s, spec hashes to %s", wj.Key, j.key))
+	}
+
+	ttl := msToDuration(wj.LeaseTTLMs, 30*time.Second)
+	hb := msToDuration(wj.HeartbeatMs, store.DefaultHeartbeat(ttl))
+	deadline := msToDuration(wj.DeadlineMs, 15*time.Second)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	leases, err := store.NewLeasesFS(fsys, wj.Out, wj.Owner, ttl)
+	if err != nil {
+		return failed("leases: " + err.Error())
+	}
+	// Claim this attempt's hedge slot, waiting out a stale predecessor
+	// (the supervisor usually cleans those up first, but a whole-fleet
+	// crash can leave young leases only the TTL clears).
+	slot := store.SlotName(wj.Spec.Name, wj.Slot)
+	waitUntil := time.Now().Add(deadline)
+	var lease *store.Lease
+	for {
+		lease, err = leases.Acquire(slot)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, store.ErrLeaseHeld) {
+			return failed("lease: " + err.Error())
+		}
+		if time.Now().After(waitUntil) {
+			return failed("lease: " + err.Error())
+		}
+		select {
+		case <-sigCtx.Done():
+			return outcome(schema.WorkerCheckpoint, nil)
+		case <-time.After(hb):
+		}
+	}
+	defer lease.Release()
+
+	st, err := store.OpenFS(filepath.Join(wj.Out, "store"), fsys)
+	if err != nil {
+		return failed("store: " + err.Error())
+	}
+	// Serve from the store before computing: a crashed predecessor (or
+	// the hedge twin) may already have committed this key.
+	if st.Has(j.key) {
+		return outcome(schema.WorkerDone, func(o *schema.WorkerOutcome) { o.Cached = true })
+	}
+
+	runCtx, cancelRun := context.WithTimeout(sigCtx, deadline)
+	defer cancelRun()
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if lease.Heartbeat() != nil || !lease.Confirm() {
+					cancelRun()
+					return
+				}
+			}
+		}
+	}()
+
+	cfg := j.config()
+	start := time.Now()
+	results, err := core.RunManyCtx(runCtx, []core.RunConfig{cfg}, core.SweepOptions{
+		Parallelism: 1,
+		Retries:     wj.Retries,
+	})
+	close(hbStop)
+	hbDone.Wait()
+	wall := time.Since(start)
+
+	if err == nil {
+		var buf bytes.Buffer
+		tab := renderResult(wj.Spec, results[0])
+		if werr := tab.WriteJSON(&buf); werr != nil {
+			err = werr
+		} else if perr := st.Put(j.key, buf.Bytes()); perr != nil {
+			err = perr
+		}
+	}
+	if err == nil {
+		return outcome(schema.WorkerDone, func(o *schema.WorkerOutcome) {
+			o.WallMs = float64(wall.Milliseconds())
+		})
+	}
+	if sigCtx.Err() != nil && isCancellation(err) {
+		// SIGTERM mid-run: the store stayed untouched, the supervisor's
+		// pending journal records stand, the job re-runs verbatim.
+		return outcome(schema.WorkerCheckpoint, nil)
+	}
+	// Park a replayable failure record beside the store so a quarantine
+	// decided by the supervisor can be debugged offline.
+	var re *core.RunError
+	if errors.As(err, &re) {
+		var buf bytes.Buffer
+		if werr := re.WriteJSON(&buf); werr == nil {
+			path := filepath.Join(wj.Out, j.key+".failed.json")
+			if werr := store.WriteFileAtomicFS(fsys, path, buf.Bytes()); werr != nil {
+				fmt.Fprintf(stderr, "ccserve worker: writing %s: %v\n", path, werr)
+			}
+		}
+	}
+	return failed(err.Error())
+}
+
+// msToDuration converts a schema millisecond field, falling back when
+// the supervisor sent zero.
+func msToDuration(ms float64, fallback time.Duration) time.Duration {
+	if ms <= 0 {
+		return fallback
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}

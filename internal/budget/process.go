@@ -1,0 +1,42 @@
+package budget
+
+// Per-process memory limits for worker subprocesses. The estimator's
+// Footprint prices a run's *heap*; an OS address-space limit
+// (RLIMIT_AS) must also cover everything else a Go process maps —
+// runtime arena reservations, thread stacks, the binary — and leave the
+// garbage collector room to run at its default 100% growth target.
+const (
+	// WorkerVABaseBytes is the address-space floor below which a Go
+	// worker process cannot start at all: the runtime reserves well over
+	// a gigabyte of virtual address space (heap arena and page-allocator
+	// structures) before user code allocates its first byte. Measured on
+	// linux/amd64 with the toolchain this repo builds with: a trivial
+	// program dies at startup under a 1 GiB RLIMIT_AS and runs fine at
+	// 2 GiB. The constant is deliberately the working bound, not a
+	// theoretical one.
+	WorkerVABaseBytes = 2 << 30
+	// WorkerHeapHeadroom multiplies the estimator's predicted peak heap:
+	// one share live, one for the GC's growth target, one for allocator
+	// fragmentation and transient copies (result rendering, JSON).
+	WorkerHeapHeadroom = 3
+)
+
+// WorkerMemLimit derives the RLIMIT_AS ceiling for one worker process
+// from its job's estimated footprint: the runtime's address-space floor
+// plus headroom times the predicted heap. memCap, when positive, is an
+// operator override that clamps the derived limit — the knob that turns
+// "this host has 8 GB" into "no worker maps more than N" even when the
+// estimator would allow more. A config whose real appetite exceeds the
+// limit dies alone in its process (mmap failure → runtime OOM abort),
+// which is the fleet design's whole point: the blast radius of a
+// mis-scaled config is one worker, never the service.
+func WorkerMemLimit(fp Footprint, memCap int64) int64 {
+	limit := int64(WorkerVABaseBytes) + WorkerHeapHeadroom*fp.HeapBytes
+	if limit < WorkerVABaseBytes { // overflow on absurd estimates
+		limit = int64(^uint64(0) >> 1)
+	}
+	if memCap > 0 && limit > memCap {
+		limit = memCap
+	}
+	return limit
+}

@@ -1,0 +1,35 @@
+package budget
+
+import "testing"
+
+func TestWorkerMemLimit(t *testing.T) {
+	small := Footprint{HeapBytes: 64 << 20}
+	big := Footprint{HeapBytes: 2 << 30}
+
+	// Floor: even a tiny job gets the runtime's address-space base.
+	if got := WorkerMemLimit(small, 0); got < WorkerVABaseBytes {
+		t.Fatalf("limit %d below the VA floor %d", got, WorkerVABaseBytes)
+	}
+	// Monotone in predicted heap.
+	if WorkerMemLimit(big, 0) <= WorkerMemLimit(small, 0) {
+		t.Fatal("bigger predicted heap did not raise the limit")
+	}
+	// Headroom: the derived limit covers floor + headroom × heap.
+	want := int64(WorkerVABaseBytes) + WorkerHeapHeadroom*big.HeapBytes
+	if got := WorkerMemLimit(big, 0); got != want {
+		t.Fatalf("limit = %d, want %d", got, want)
+	}
+	// Operator cap clamps below the derived limit…
+	if got := WorkerMemLimit(big, 1<<30); got != 1<<30 {
+		t.Fatalf("capped limit = %d, want the cap", got)
+	}
+	// …but a cap above the derived limit changes nothing.
+	if got := WorkerMemLimit(small, 1<<40); got != WorkerMemLimit(small, 0) {
+		t.Fatalf("loose cap altered the limit: %d", got)
+	}
+	// Overflow-hostile estimates saturate instead of wrapping negative.
+	absurd := Footprint{HeapBytes: int64(^uint64(0) >> 2)}
+	if got := WorkerMemLimit(absurd, 0); got <= 0 {
+		t.Fatalf("absurd estimate produced non-positive limit %d", got)
+	}
+}

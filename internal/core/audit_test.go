@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -164,6 +165,15 @@ func TestAuditCleanAcrossConfigurations(t *testing.T) {
 			c.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2, Hold: true}
 		}},
 		{"mixed ccas", func(c *RunConfig) { c.Flows = MixedFlows(6, "bbr2", "vegas", DefaultRTT) }},
+		{"burst loss + outage drop", func(c *RunConfig) {
+			c.BurstLoss = &BurstLossSpec{MeanLoss: 0.005, MeanBurstLen: 4}
+			c.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2}
+		}},
+		{"burst loss + outage hold + iid", func(c *RunConfig) {
+			c.RandomLoss = 0.005
+			c.BurstLoss = &BurstLossSpec{MeanLoss: 0.005, MeanBurstLen: 4}
+			c.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2, Hold: true}
+		}},
 	}
 	for _, tc := range mut {
 		t.Run(tc.name, func(t *testing.T) {
@@ -174,5 +184,44 @@ func TestAuditCleanAcrossConfigurations(t *testing.T) {
 				t.Fatalf("strict-audited run failed: %v", err)
 			}
 		})
+	}
+}
+
+// TestComposedImpairmentsAuditBitIdentity runs the fully composed
+// impairment chain — iid loss, Gilbert–Elliott burst loss, and link
+// outages together — with the auditor off and with it strict, and
+// requires bit-identical results. The auditor is an observer: turning
+// it on must not consume randomness, reorder events, or perturb a
+// single flow statistic, even with every forward-path impairment
+// stacked.
+func TestComposedImpairmentsAuditBitIdentity(t *testing.T) {
+	compose := func(audit string) RunConfig {
+		cfg := auditedTinyConfig(17)
+		cfg.Audit = audit
+		cfg.RandomLoss = 0.005
+		cfg.BurstLoss = &BurstLossSpec{MeanLoss: 0.01, MeanBurstLen: 4}
+		cfg.Outage = &OutageSpec{Start: 3 * sim.Second, Down: 200 * sim.Millisecond, Period: 2 * sim.Second, Count: 2, Hold: true}
+		return cfg
+	}
+	plain, err := Run(compose(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Run(compose("strict"))
+	if err != nil {
+		t.Fatalf("strict composed run failed: %v", err)
+	}
+	if !reflect.DeepEqual(plain.Flows, strict.Flows) {
+		t.Fatal("strict auditing perturbed the composed run's flow results")
+	}
+	if plain.Events != strict.Events {
+		t.Fatalf("event counts differ: plain %d, strict %d", plain.Events, strict.Events)
+	}
+	if plain.BurstDrops != strict.BurstDrops || plain.OutageDrops != strict.OutageDrops {
+		t.Fatalf("drop ledgers differ: burst %d/%d outage %d/%d",
+			plain.BurstDrops, strict.BurstDrops, plain.OutageDrops, strict.OutageDrops)
+	}
+	if strict.AuditViolations != 0 {
+		t.Fatalf("composed chain raised %d audit violations", strict.AuditViolations)
 	}
 }

@@ -1,0 +1,177 @@
+package netem
+
+import (
+	"reflect"
+	"testing"
+
+	"ccatscale/internal/packet"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// composedChain builds the production forward-path composition — link
+// outage outermost, Gilbert–Elliott burst loss behind it, the receiver
+// sink innermost — exactly as core wires it: a dark link is dark for
+// everything behind it, and packets a hold-policy outage releases still
+// cross the lossy channel.
+type composedChain struct {
+	outage *Outage
+	ge     *GilbertElliott
+}
+
+type composedDelivery struct {
+	At  sim.Time
+	Seq int64
+}
+
+func newComposedChain(eng *sim.Engine, seed uint64, geCfg GilbertElliottConfig, oCfg OutageConfig, got *[]composedDelivery) *composedChain {
+	sink := func(p packet.Packet) { *got = append(*got, composedDelivery{eng.Now(), p.Seq}) }
+	ge := NewGilbertElliott(eng, sim.NewRNG(seed), geCfg, sink)
+	o := NewOutage(eng, oCfg, ge.Send)
+	return &composedChain{outage: o, ge: ge}
+}
+
+// offerEveryMs schedules count packets into the chain, one per virtual
+// millisecond starting at t=1ms, each carrying its index as Seq and a
+// fixed payload size.
+func offerEveryMs(eng *sim.Engine, c *composedChain, count int) {
+	for i := 0; i < count; i++ {
+		seq := int64(i)
+		eng.Schedule(sim.Time(i+1)*sim.Millisecond, func() {
+			c.outage.Send(packet.Packet{Seq: seq, Len: 1000})
+		})
+	}
+}
+
+func composeWindows() []OutageWindow {
+	return []OutageWindow{
+		{Start: 50 * sim.Millisecond, End: 70 * sim.Millisecond},
+		{Start: 120 * sim.Millisecond, End: 140 * sim.Millisecond},
+	}
+}
+
+// TestComposedChainConservation offers a known packet population to the
+// outage→burst-loss chain under the drop policy and requires the
+// conservation ledger to close exactly: every packet (and every wire
+// byte) is either delivered, dropped dark, or dropped by the channel —
+// no path in the composition loses a byte silently.
+func TestComposedChainConservation(t *testing.T) {
+	const offered = 200
+	eng := sim.NewEngine()
+	var got []composedDelivery
+	c := newComposedChain(eng, 7, SimpleGilbert(0.2, 4), OutageConfig{Windows: composeWindows()}, &got)
+	offerEveryMs(eng, c, offered)
+	eng.Run(sim.Second)
+
+	delivered := uint64(len(got))
+	if delivered+c.outage.Dropped()+c.ge.Dropped() != offered {
+		t.Fatalf("packet ledger leaks: %d delivered + %d dark + %d burst != %d offered",
+			delivered, c.outage.Dropped(), c.ge.Dropped(), offered)
+	}
+	if c.outage.Dropped() == 0 {
+		t.Fatal("no dark drops: the windows never saw traffic")
+	}
+	if c.ge.Dropped() == 0 {
+		t.Fatal("no burst drops: the channel never fired")
+	}
+	// The outage hands exactly its survivors to the channel.
+	if c.outage.Passed() != c.ge.Passed()+c.ge.Dropped() {
+		t.Fatalf("chain leak between stages: outage passed %d, channel saw %d",
+			c.outage.Passed(), c.ge.Passed()+c.ge.Dropped())
+	}
+	// Byte conservation, same ledger in wire bytes.
+	ref := packet.Packet{Len: 1000}
+	wire := ref.WireBytes()
+	offeredBytes := units.ByteCount(offered) * wire
+	deliveredBytes := units.ByteCount(delivered) * wire
+	if deliveredBytes+c.outage.DropBytes()+c.ge.DropBytes() != offeredBytes {
+		t.Fatalf("byte ledger leaks: %d + %d + %d != %d",
+			deliveredBytes, c.outage.DropBytes(), c.ge.DropBytes(), offeredBytes)
+	}
+	// Nothing may arrive while the link is dark.
+	for _, d := range got {
+		for i, w := range composeWindows() {
+			if d.At >= w.Start && d.At < w.End {
+				t.Fatalf("packet %d delivered at %v inside dark window %d", d.Seq, d.At, i)
+			}
+		}
+	}
+}
+
+// TestComposedChainHoldConservation swaps in the hold policy: packets
+// parked during an outage flush at window end and then still face the
+// burst channel. The ledger closes with the flush path included, the
+// flushed packets preserve arrival order, and nothing stays held after
+// the last window.
+func TestComposedChainHoldConservation(t *testing.T) {
+	const offered = 200
+	eng := sim.NewEngine()
+	var got []composedDelivery
+	c := newComposedChain(eng, 7, SimpleGilbert(0.2, 4),
+		OutageConfig{Windows: composeWindows(), Policy: OutageHold}, &got)
+	offerEveryMs(eng, c, offered)
+	eng.Run(sim.Second)
+
+	if c.outage.Held() != 0 || c.outage.HeldBytes() != 0 {
+		t.Fatalf("%d packets (%d bytes) still parked after the last window",
+			c.outage.Held(), c.outage.HeldBytes())
+	}
+	if c.outage.Dropped() != 0 {
+		t.Fatalf("hold policy without a capacity dropped %d packets", c.outage.Dropped())
+	}
+	if c.outage.Flushed() == 0 {
+		t.Fatal("no packets were held and flushed: the windows never saw traffic")
+	}
+	delivered := uint64(len(got))
+	if delivered+c.ge.Dropped() != offered {
+		t.Fatalf("packet ledger leaks: %d delivered + %d burst != %d offered (flushed %d)",
+			delivered, c.ge.Dropped(), offered, c.outage.Flushed())
+	}
+	// Up-link passes plus flushes is everything the channel saw.
+	if c.outage.Passed()+c.outage.Flushed() != c.ge.Passed()+c.ge.Dropped() {
+		t.Fatalf("chain leak between stages: outage forwarded %d, channel saw %d",
+			c.outage.Passed()+c.outage.Flushed(), c.ge.Passed()+c.ge.Dropped())
+	}
+	// Deliveries stay in Seq order: the flush preserves FIFO and the
+	// channel never reorders.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("delivery %d out of order: seq %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+	// A held packet must not be delivered before its window ends.
+	for _, d := range got {
+		for i, w := range composeWindows() {
+			if d.At >= w.Start && d.At < w.End {
+				t.Fatalf("packet %d delivered at %v inside dark window %d", d.Seq, d.At, i)
+			}
+		}
+	}
+}
+
+// TestComposedChainDeterminism pins the composition's reproducibility:
+// same seed, same schedule → bit-identical delivery sequences and
+// counters, for both policies; a different seed must change the burst
+// pattern (the outage schedule, being configuration, must not).
+func TestComposedChainDeterminism(t *testing.T) {
+	run := func(seed uint64, policy OutagePolicy) ([]composedDelivery, uint64, uint64) {
+		eng := sim.NewEngine()
+		var got []composedDelivery
+		c := newComposedChain(eng, seed, SimpleGilbert(0.1, 4),
+			OutageConfig{Windows: composeWindows(), Policy: policy}, &got)
+		offerEveryMs(eng, c, 200)
+		eng.Run(sim.Second)
+		return got, c.ge.Dropped(), c.outage.Dropped() + c.outage.Flushed()
+	}
+	for _, policy := range []OutagePolicy{OutageDrop, OutageHold} {
+		a, aGE, aOut := run(11, policy)
+		b, bGE, bOut := run(11, policy)
+		if !reflect.DeepEqual(a, b) || aGE != bGE || aOut != bOut {
+			t.Fatalf("policy %d: same-seed composed runs differ", policy)
+		}
+		c, _, _ := run(13, policy)
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("policy %d: different seeds produced identical burst patterns", policy)
+		}
+	}
+}

@@ -24,12 +24,19 @@ const (
 	JobFailed      = "failed"
 	JobRejected    = "rejected"
 	JobQuarantined = "quarantined"
+	// JobPoisoned means the job's worker process itself died repeatedly
+	// (OOM kill, runtime crash) rather than the simulation failing: the
+	// config is recorded as poisoned and refused until an operator
+	// removes its poison record. Unlike "quarantined" — which a client
+	// can clear by resubmitting — poisoned configs stay rejected, because
+	// re-running them costs a whole process each strike.
+	JobPoisoned = "poisoned"
 )
 
 // JobTerminal reports whether a job state is final.
 func JobTerminal(state string) bool {
 	switch state {
-	case JobDone, JobFailed, JobRejected, JobQuarantined:
+	case JobDone, JobFailed, JobRejected, JobQuarantined, JobPoisoned:
 		return true
 	}
 	return false
@@ -177,11 +184,112 @@ const (
 
 // HealthResponse is the body of GET /healthz. The HTTP status carries
 // the same signal for probes that only look at codes: 200 when ready,
-// 503 when draining.
+// 503 when draining — unless the probe asks for liveness only
+// (?probe=live), which answers 200 whenever the process can respond at
+// all. Liveness and readiness are distinct questions: a draining server
+// is alive (do not restart it mid-checkpoint) but not ready (send no
+// new work).
 type HealthResponse struct {
 	SchemaVersion string `json:"schema_version"`
 	State         string `json:"state"`
+	// Live is true whenever the server process answers: the supervisor
+	// loop is running even if it refuses new work.
+	Live bool `json:"live"`
+	// Ready is true when the server accepts new submissions.
+	Ready bool `json:"ready"`
 	// Queued and Running count jobs not yet terminal.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
+	// Workers lists currently live worker subprocesses (fleet mode).
+	Workers []WorkerHealth `json:"workers,omitempty"`
+	// Fleet aggregates worker lifecycle counters (fleet mode).
+	Fleet *FleetHealth `json:"fleet,omitempty"`
+}
+
+// WorkerHealth is one live worker subprocess in /healthz output.
+type WorkerHealth struct {
+	// PID is the worker's OS process id.
+	PID int `json:"pid"`
+	// Job and Key identify the scenario the worker is executing.
+	Job string `json:"job"`
+	Key string `json:"key"`
+	// Slot is the hedge slot: 0 for the primary attempt, ≥1 for a
+	// straggler hedge racing it.
+	Slot int `json:"slot"`
+}
+
+// FleetHealth aggregates worker lifecycle counters since boot.
+type FleetHealth struct {
+	// Spawns counts worker processes started (primaries and hedges).
+	Spawns int64 `json:"spawns"`
+	// Exits counts worker processes reaped, however they ended.
+	Exits int64 `json:"exits"`
+	// Restarts counts crash-loop respawns: a worker died without
+	// delivering an outcome and the job was retried in a new process.
+	Restarts int64 `json:"restarts"`
+	// Hedges counts duplicate workers launched against stragglers.
+	Hedges int64 `json:"hedges"`
+	// Poisoned counts configs quarantined for killing their workers.
+	Poisoned int64 `json:"poisoned"`
+}
+
+// Worker outcome states: the final word a worker subprocess writes to
+// stdout before exiting. A worker that dies without one crashed.
+const (
+	// WorkerDone: the result is committed to the store.
+	WorkerDone = "done"
+	// WorkerFailed: the simulation failed with a replayable RunError;
+	// the worker parked <key>.failed.json beside the store.
+	WorkerFailed = "failed"
+	// WorkerCheckpoint: the run was cancelled (SIGTERM, drain) before
+	// finishing; nothing was committed and the job can re-run verbatim.
+	WorkerCheckpoint = "checkpoint"
+)
+
+// WorkerJob is the payload a ccserve supervisor writes to a worker
+// subprocess's stdin: everything one execution attempt needs, so the
+// worker re-derives the simulation from the same spec the journal
+// holds and commits through the same store/lease protocol any process
+// would. Times are milliseconds and sizes bytes so the shape stays
+// plain data, like every other schema type.
+type WorkerJob struct {
+	SchemaVersion string `json:"schema_version"`
+	// Out is the output directory (store, journal, leases) to commit to.
+	Out string `json:"out"`
+	// Spec is the scenario to run.
+	Spec JobSpec `json:"spec"`
+	// Key is the supervisor's content address for the result; the worker
+	// recomputes it from Spec and refuses to run on a mismatch rather
+	// than commit under a wrong identity.
+	Key string `json:"key"`
+	// Slot is the hedge slot this attempt claims its lease under.
+	Slot int `json:"slot"`
+	// Owner is the lease identity for this attempt, unique per spawn so
+	// the supervisor can clean up a crashed worker's leases.
+	Owner string `json:"owner"`
+	// Retries is the reduced-fidelity retry allowance inside the run.
+	Retries int `json:"retries"`
+	// MemLimitBytes caps the worker's address space (RLIMIT_AS); 0
+	// leaves the OS default.
+	MemLimitBytes int64 `json:"memLimitBytes,omitempty"`
+	// DeadlineMs is the wall-clock allowance for the run.
+	DeadlineMs float64 `json:"deadlineMs"`
+	// LeaseTTLMs and HeartbeatMs configure the worker's lease protocol;
+	// they must match the supervisor's so staleness means one thing.
+	LeaseTTLMs  float64 `json:"leaseTTLMs"`
+	HeartbeatMs float64 `json:"heartbeatMs"`
+}
+
+// WorkerOutcome is the single JSON line a worker writes to stdout when
+// an attempt resolves. Absence of one is the crash signal.
+type WorkerOutcome struct {
+	SchemaVersion string `json:"schema_version"`
+	// State is one of the Worker* constants.
+	State string `json:"state"`
+	// Cached reports the result was already in the store.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure reason for WorkerFailed.
+	Error string `json:"error,omitempty"`
+	// WallMs is the wall-clock time the run consumed.
+	WallMs float64 `json:"wallMs,omitempty"`
 }

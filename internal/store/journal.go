@@ -51,13 +51,18 @@ const (
 	// config-hash failed repeatedly, so the job is parked with a
 	// replayable RunError instead of retry-looping.
 	OpQuarantined = "quarantined"
+	// OpPoisoned is the fleet supervisor's terminal op: the config's
+	// worker *process* died repeatedly (OOM kill, runtime crash), so the
+	// config is refused outright — resubmission does not clear it the
+	// way it clears a quarantine, because each strike costs a process.
+	OpPoisoned = "poisoned"
 )
 
 // TerminalOp reports whether op resolves a job: no further journal
 // record is expected for it, and recovery does not re-run it.
 func TerminalOp(op string) bool {
 	switch op {
-	case OpDone, OpFailed, OpRejected, OpCached, OpQuarantined:
+	case OpDone, OpFailed, OpRejected, OpCached, OpQuarantined, OpPoisoned:
 		return true
 	}
 	return false

@@ -80,15 +80,29 @@ func (ls *Leases) leasePath(job string) string {
 // than the TTL (the previous holder is presumed dead). A live lease
 // returns ErrLeaseHeld wrapped with the holder's identity.
 //
-// Takeover is intentionally last-writer-wins: two workers that both see
-// a stale lease may both rename their claim into place, and both may
-// briefly believe they hold it. That race is accepted, not prevented —
-// the content-addressed store makes the duplicate execution harmless
-// (the second commit is a no-op), which is cheaper and more robust than
-// distributed locking. Confirm() narrows the window for long jobs.
+// Takeover admits exactly one winner among racing claimants: the
+// takeover is arbitrated by an O_EXCL guard file, so of N workers that
+// all see the same stale lease, the one that creates the guard renames
+// it into place and every other gets a clean ErrLeaseHeld. The
+// exactly-once property matters for supervision — a fleet restarting
+// after a crash must not have two workers believing they own the same
+// job's lease slot even transiently. The read-back Confirm() after the
+// rename stays as a second line of defense (and remains the holder's
+// mid-job staleness check). A guard whose creator crashed mid-takeover
+// ages out on the same TTL as the lease itself.
 func (ls *Leases) Acquire(job string) (*Lease, error) {
+	return ls.acquire(job, 0)
+}
+
+// acquire is Acquire with a bounded retry depth for the windows where a
+// concurrent release or an aged-out guard invites one more attempt.
+func (ls *Leases) acquire(job string, depth int) (*Lease, error) {
 	if strings.ContainsAny(job, "/\\") {
 		return nil, fmt.Errorf("store: job name %q contains a path separator", job)
+	}
+	const maxDepth = 4
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: job %q contended beyond %d attempts", ErrLeaseHeld, job, maxDepth)
 	}
 	path := ls.leasePath(job)
 	body, err := json.Marshal(leaseBody{
@@ -118,10 +132,10 @@ func (ls *Leases) Acquire(job string) (*Lease, error) {
 		return nil, err
 	}
 	// Slow path: a lease exists. Stale (heartbeat older than TTL) means
-	// the holder died without releasing; rename a fresh claim over it.
+	// the holder died without releasing; take it over through the guard.
 	fi, err := ls.fs.Stat(path)
 	if os.IsNotExist(err) {
-		return ls.Acquire(job) // released between create and stat; retry
+		return ls.acquire(job, depth+1) // released between create and stat; retry
 	}
 	if err != nil {
 		return nil, err
@@ -137,31 +151,92 @@ func (ls *Leases) Acquire(job string) (*Lease, error) {
 		return nil, fmt.Errorf("%w: job %q by %s (heartbeat %v ago, ttl %v)",
 			ErrLeaseHeld, job, holder, age.Round(time.Millisecond), ls.ttl)
 	}
-	tmp := fmt.Sprintf("%s.takeover.%d", path, os.Getpid())
-	tf, err := ls.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	// Takeover arbitration: exactly one racer creates the guard. Losers
+	// see EEXIST and stand down cleanly; the winner renames the guard
+	// over the stale lease. A guard left by a claimant that crashed
+	// between create and rename ages out on the TTL like any lease.
+	guard := path + ".takeover"
+	gf, err := ls.fs.OpenFile(guard, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if os.IsExist(err) {
+		if gfi, serr := ls.fs.Stat(guard); serr == nil && ls.now().Sub(gfi.ModTime()) >= ls.ttl {
+			ls.fs.Remove(guard)
+			return ls.acquire(job, depth+1)
+		}
+		return nil, fmt.Errorf("%w: job %q takeover already in progress", ErrLeaseHeld, job)
+	}
 	if err != nil {
 		return nil, err
 	}
-	_, werr := tf.Write(body)
-	cerr := tf.Close()
+	_, werr := gf.Write(body)
+	cerr := gf.Close()
 	if werr != nil || cerr != nil {
-		ls.fs.Remove(tmp)
+		ls.fs.Remove(guard)
 		if werr != nil {
 			return nil, werr
 		}
 		return nil, cerr
 	}
-	if err := ls.fs.Rename(tmp, path); err != nil {
-		ls.fs.Remove(tmp)
+	// Re-check staleness under the guard: the holder may have heartbeat
+	// between our first stat and the guard creation. Giving the claim up
+	// here keeps a merely-stalled holder alive instead of usurping it.
+	if fi2, serr := ls.fs.Stat(path); serr == nil && ls.now().Sub(fi2.ModTime()) < ls.ttl {
+		ls.fs.Remove(guard)
+		return nil, fmt.Errorf("%w: job %q holder revived during takeover", ErrLeaseHeld, job)
+	}
+	if err := ls.fs.Rename(guard, path); err != nil {
+		ls.fs.Remove(guard)
 		return nil, err
 	}
 	l := &Lease{fs: ls.fs, path: path, owner: ls.owner}
-	// Read back: if another takeover renamed after ours, it owns the
-	// job and we stand down.
+	// Read back: the guard makes a second winner impossible, but a
+	// confirm here is cheap and catches filesystems with weaker rename
+	// semantics than POSIX promises.
 	if !l.confirm() {
 		return nil, fmt.Errorf("%w: job %q lost takeover race", ErrLeaseHeld, job)
 	}
 	return l, nil
+}
+
+// SlotName maps a job name and a hedge slot to the lease name the
+// attempt claims: slot 0 (the primary) uses the job name itself —
+// compatible with every non-hedged claimant — and hedge slots suffix
+// it, so a straggler's duplicate run never contends with the primary's
+// lease while both race toward the store's idempotent commit.
+func SlotName(job string, slot int) string {
+	if slot <= 0 {
+		return job
+	}
+	return fmt.Sprintf("%s~h%d", job, slot)
+}
+
+// ReleaseOwned removes job's lease if (and only if) it is held by
+// owner. It is the supervisor's cleanup path for a worker it has
+// already reaped: the holder is known dead — waitpid said so — so
+// deleting its lease immediately instead of waiting out the TTL lets
+// the respawned attempt start at once. Removing a lease the dead
+// worker did not hold would sabotage a live claimant, hence the owner
+// check. A lease that does not exist, or changed hands already, is
+// success: the goal is only that the dead owner's claim is gone.
+func (ls *Leases) ReleaseOwned(job, owner string) error {
+	if strings.ContainsAny(job, "/\\") {
+		return fmt.Errorf("store: job name %q contains a path separator", job)
+	}
+	path := ls.leasePath(job)
+	data, err := ls.fs.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var b leaseBody
+	if json.Unmarshal(data, &b) != nil || b.Owner != owner {
+		return nil
+	}
+	if err := ls.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // DefaultHeartbeat returns the heartbeat interval used when the caller

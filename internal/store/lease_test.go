@@ -2,6 +2,9 @@ package store
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -230,6 +233,165 @@ func TestValidateHeartbeat(t *testing.T) {
 		if !c.ok && err == nil {
 			t.Errorf("ValidateHeartbeat(%v, %v) = nil, want error", c.hb, c.ttl)
 		}
+	}
+}
+
+// TestLeaseTakeoverRaceExactlyOneWinner is the satellite drill for
+// concurrent stale-lease takeover: two claimants race the same TTL
+// expiry at the same instant. The O_EXCL takeover guard must let
+// exactly one win; the loser must see a clean ErrLeaseHeld — not an
+// I/O error, not a second "win". Repeated rounds give the race a fair
+// chance to interleave every way the scheduler can produce.
+func TestLeaseTakeoverRaceExactlyOneWinner(t *testing.T) {
+	const ttl = 100 * time.Millisecond
+	for round := 0; round < 25; round++ {
+		dir := t.TempDir()
+		dead := newTestLeases(t, dir, "worker-dead", ttl, nil)
+		if _, err := dead.Acquire("job"); err != nil {
+			t.Fatal(err)
+		}
+		// Age the dead holder's heartbeat past the TTL without sleeping.
+		old := time.Now().Add(-time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, leaseDir, "job.lease"), old, old); err != nil {
+			t.Fatal(err)
+		}
+
+		b := newTestLeases(t, dir, "worker-b", ttl, nil)
+		c := newTestLeases(t, dir, "worker-c", ttl, nil)
+		type res struct {
+			lease *Lease
+			err   error
+		}
+		results := make([]res, 2)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(2)
+		for i, ls := range []*Leases{b, c} {
+			go func(i int, ls *Leases) {
+				defer done.Done()
+				start.Wait()
+				l, err := ls.Acquire("job")
+				results[i] = res{l, err}
+			}(i, ls)
+		}
+		start.Done()
+		done.Wait()
+
+		winners := 0
+		for i, r := range results {
+			if r.err == nil {
+				winners++
+				if !r.lease.Confirm() {
+					t.Fatalf("round %d: claimant %d won but cannot confirm", round, i)
+				}
+				continue
+			}
+			if !errors.Is(r.err, ErrLeaseHeld) {
+				t.Fatalf("round %d: loser got %v, want a clean ErrLeaseHeld", round, r.err)
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("round %d: %d takeover winners, want exactly 1", round, winners)
+		}
+	}
+}
+
+// TestLeaseTakeoverGuardAgesOut: a claimant that crashed between
+// creating the takeover guard and renaming it must not wedge the job
+// forever — the guard goes stale on the same TTL and the next claimant
+// clears it.
+func TestLeaseTakeoverGuardAgesOut(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Now()}
+	const ttl = 50 * time.Millisecond
+	a := newTestLeases(t, dir, "worker-a", ttl, clk)
+	if _, err := a.Acquire("job"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed mid-takeover claimant: a guard file exists.
+	guard := filepath.Join(dir, leaseDir, "job.lease.takeover")
+	if err := os.WriteFile(guard, []byte(`{"owner":"worker-crashed"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	for _, f := range []string{filepath.Join(dir, leaseDir, "job.lease"), guard} {
+		if err := os.Chtimes(f, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(time.Hour)
+	b := newTestLeases(t, dir, "worker-b", ttl, clk)
+	lb, err := b.Acquire("job")
+	if err != nil {
+		t.Fatalf("takeover with stale guard present: %v", err)
+	}
+	if !lb.Confirm() {
+		t.Fatal("winner cannot confirm after clearing a stale guard")
+	}
+	// A *fresh* guard (live takeover in progress) must stay a rejection.
+	// Judged on the real clock: the lease is stale, the guard is not.
+	if err := lb.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire("other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(filepath.Join(dir, leaseDir, "other.lease"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, leaseDir, "other.lease.takeover"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestLeases(t, dir, "worker-c", ttl, nil)
+	if _, err := c.Acquire("other"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("fresh guard ignored: %v", err)
+	}
+}
+
+func TestSlotName(t *testing.T) {
+	if got := SlotName("fig4", 0); got != "fig4" {
+		t.Fatalf("SlotName slot 0 = %q, want the bare job name", got)
+	}
+	if got := SlotName("fig4", 2); got != "fig4~h2" {
+		t.Fatalf("SlotName slot 2 = %q", got)
+	}
+	// Hedge slots are distinct leases: primary and hedge coexist.
+	dir := t.TempDir()
+	ls := newTestLeases(t, dir, "w", time.Hour, nil)
+	if _, err := ls.Acquire(SlotName("job", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Acquire(SlotName("job", 1)); err != nil {
+		t.Fatalf("hedge slot conflicts with primary: %v", err)
+	}
+}
+
+// TestReleaseOwned: the supervisor's cleanup for a reaped worker
+// removes exactly that worker's lease — never a live successor's.
+func TestReleaseOwned(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestLeases(t, dir, "worker-a", time.Hour, nil)
+	sup := newTestLeases(t, dir, "supervisor", time.Hour, nil)
+	if _, err := a.Acquire("job"); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong owner: no-op, lease survives.
+	if err := sup.ReleaseOwned("job", "worker-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Acquire("job"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("lease vanished after wrong-owner release: %v", err)
+	}
+	// Right owner: lease removed, job immediately claimable.
+	if err := sup.ReleaseOwned("job", "worker-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Acquire("job"); err != nil {
+		t.Fatalf("acquire after owned release: %v", err)
+	}
+	// Nonexistent lease: success.
+	if err := sup.ReleaseOwned("ghost", "worker-a"); err != nil {
+		t.Fatal(err)
 	}
 }
 

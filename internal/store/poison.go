@@ -1,0 +1,127 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ccatscale/internal/schema"
+)
+
+// poisonDir is the subdirectory of an output directory holding one
+// record per poisoned config.
+const poisonDir = "poison"
+
+// PoisonRecord marks a config whose worker process died repeatedly —
+// OOM kill, runtime crash, anything that ends the process without an
+// outcome. It is distinct from a quarantine (the *simulation* failed,
+// retryable by resubmission): a poisoned config is refused until an
+// operator deletes its record, because every retry costs a whole
+// process. The record is a standalone file, not only a journal entry,
+// so it survives journal compaction and is trivially auditable and
+// removable with ordinary file tools.
+type PoisonRecord struct {
+	SchemaVersion string `json:"schema_version"`
+	// Key is the poisoned config's content address.
+	Key string `json:"key"`
+	// Job is the client-facing name the config was last submitted under.
+	Job string `json:"job"`
+	// Reason describes the final strike (exit status, signal).
+	Reason string `json:"reason"`
+	// Strikes counts the worker deaths that earned the record.
+	Strikes int `json:"strikes"`
+}
+
+// Poisons manages the poison directory for one output directory.
+type Poisons struct {
+	fs  FS
+	dir string
+}
+
+// OpenPoisonsFS opens (creating if needed) the poison space under
+// outDir.
+func OpenPoisonsFS(fs FS, outDir string) (*Poisons, error) {
+	dir := filepath.Join(outDir, poisonDir)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Poisons{fs: fs, dir: dir}, nil
+}
+
+func (p *Poisons) path(key string) string {
+	return filepath.Join(p.dir, key+".json")
+}
+
+// Mark persists a poison record. Marking an already-poisoned key
+// overwrites the record — the latest strike count and reason win.
+func (p *Poisons) Mark(rec PoisonRecord) error {
+	if err := validKey(rec.Key); err != nil {
+		return err
+	}
+	if rec.SchemaVersion == "" {
+		rec.SchemaVersion = schema.Version
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomicFS(p.fs, p.path(rec.Key), append(data, '\n'))
+}
+
+// Get returns the poison record for key, or ok=false when the key is
+// not poisoned. A corrupt record still reports poisoned — refusing a
+// config whose record rotted is the safe direction.
+func (p *Poisons) Get(key string) (PoisonRecord, bool) {
+	if validKey(key) != nil {
+		return PoisonRecord{}, false
+	}
+	data, err := p.fs.ReadFile(p.path(key))
+	if err != nil {
+		return PoisonRecord{}, false
+	}
+	var rec PoisonRecord
+	if json.Unmarshal(data, &rec) != nil || rec.Key != key {
+		return PoisonRecord{Key: key, Reason: "unreadable poison record"}, true
+	}
+	return rec, true
+}
+
+// List returns every poison record, for boot-time state rebuilding.
+func (p *Poisons) List() ([]PoisonRecord, error) {
+	ents, err := p.fs.ReadDir(p.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []PoisonRecord
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if rec, ok := p.Get(key); ok {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+// Clear removes a key's poison record — the operator's un-poison tool.
+func (p *Poisons) Clear(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	err := p.fs.Remove(p.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// String names the directory for error messages.
+func (p *Poisons) String() string { return fmt.Sprintf("poisons(%s)", p.dir) }
