@@ -57,7 +57,7 @@ func mathisBench(b *testing.B, s Setting, flows int) MathisRow {
 	b.Helper()
 	var row MathisRow
 	for i := 0; i < b.N; i++ {
-		cfg := s.Config(core.UniformFlows(flows, "reno", core.DefaultRTT), uint64(i+1))
+		cfg := s.Build(core.UniformFlows(flows, "reno", core.DefaultRTT), WithSeed(Seed(uint64(i+1))))
 		cfg.MaxDropTimestamps = 1 << 20
 		res, err := core.Run(cfg)
 		if err != nil {
@@ -120,7 +120,7 @@ func fairnessBench(b *testing.B, s Setting, flows []FlowSpec, seedBase uint64) R
 	b.Helper()
 	var res RunResult
 	for i := 0; i < b.N; i++ {
-		r, err := core.Run(s.Config(flows, seedBase+uint64(i)))
+		r, err := core.Run(s.Build(flows, WithSeed(Seed(seedBase+uint64(i)))))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +206,7 @@ func BenchmarkAblationDelayedACK(b *testing.B) {
 			var row MathisRow
 			for i := 0; i < b.N; i++ {
 				s := benchEdge()
-				cfg := s.Config(core.UniformFlows(30, "reno", core.DefaultRTT), uint64(i+1))
+				cfg := s.Build(core.UniformFlows(30, "reno", core.DefaultRTT), WithSeed(Seed(uint64(i+1))))
 				cfg.DelAckDelay = mode.delay
 				res, err := core.Run(cfg)
 				if err != nil {
@@ -233,7 +233,7 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 				s := benchCore()
 				bdp := units.BDP(s.Rate, 200*sim.Millisecond)
 				s.Buffer = bdp * frac.num / frac.dn
-				r, err := core.Run(s.Config(MixedFlows(20, "bbr", "reno", benchRTT), uint64(i+1)))
+				r, err := core.Run(s.Build(MixedFlows(20, "bbr", "reno", benchRTT), WithSeed(Seed(uint64(i+1)))))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -266,7 +266,7 @@ func BenchmarkAblationStagger(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := benchCore()
 				s.Stagger = mode.stagger
-				r, err := core.Run(s.Config(UniformFlows(60, "reno", benchRTT), uint64(i+1)))
+				r, err := core.Run(s.Build(UniformFlows(60, "reno", benchRTT), WithSeed(Seed(uint64(i+1)))))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -293,7 +293,7 @@ func BenchmarkAblationHyStart(b *testing.B) {
 				s.Warmup = 5 * sim.Second
 				s.Duration = 15 * sim.Second
 				s.Stagger = 10 * sim.Second // spread starts so overshoot episodes are visible
-				r, err := core.Run(s.Config(UniformFlows(10, variant, benchRTT), uint64(i+1)))
+				r, err := core.Run(s.Build(UniformFlows(10, variant, benchRTT), WithSeed(Seed(uint64(i+1)))))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -315,7 +315,7 @@ func BenchmarkAblationAQM(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := benchCore()
 				s.AQM = aqm
-				r, err := core.Run(s.Config(UniformFlows(20, "reno", benchRTT), uint64(i+1)))
+				r, err := core.Run(s.Build(UniformFlows(20, "reno", benchRTT), WithSeed(Seed(uint64(i+1)))))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -338,7 +338,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		s := benchCore()
 		s.Warmup = 2 * sim.Second
 		s.Duration = 10 * sim.Second
-		res, err := core.Run(s.Config(UniformFlows(20, "reno", benchRTT), 1))
+		res, err := core.Run(s.Build(UniformFlows(20, "reno", benchRTT), WithSeed(Seed(1))))
 		if err != nil {
 			b.Fatal(err)
 		}

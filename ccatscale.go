@@ -37,6 +37,8 @@ import (
 	"ccatscale/internal/core"
 	"ccatscale/internal/mathis"
 	"ccatscale/internal/metrics"
+	"ccatscale/internal/netem"
+	"ccatscale/internal/schema"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/units"
 	"ccatscale/internal/waremodel"
@@ -242,6 +244,39 @@ func WareBBRShare(bufferBDP float64) float64 {
 // MSS is the segment size used throughout (1448 bytes, as in the
 // paper).
 const MSS = int(units.MSS)
+
+// TopologySpec is a network graph replacing the implicit dumbbell:
+// named nodes, directed links with per-link rate/delay/queue/ECN
+// configuration, and per-flow paths. Set it on a RunConfig (or compile
+// a Scenario) to run multi-bottleneck experiments — a parking lot, a
+// shared transit link — with per-bottleneck conservation auditing.
+type TopologySpec = netem.TopologySpec
+
+// LinkSpec is one directed link of a TopologySpec.
+type LinkSpec = netem.LinkSpec
+
+// LinkStat reports one link's counters in a topology run's RunResult.
+type LinkStat = netem.LinkStat
+
+// Scenario is the versioned declarative experiment document (JSON,
+// schema-versioned) accepted by cmd/reproduce -scenario and ccserve
+// submission: flows, network (dumbbell or topology), ECN/AQM marking,
+// and run lengths as plain data.
+type Scenario = schema.Scenario
+
+// ParseScenario decodes and validates a scenario document, rejecting
+// unknown fields and incompatible schema majors.
+func ParseScenario(data []byte) (*Scenario, error) { return schema.ParseScenario(data) }
+
+// ScenarioBuilder compiles a parsed Scenario into runnable
+// configuration; see NewScenarioBuilder.
+type ScenarioBuilder = core.ScenarioBuilder
+
+// NewScenarioBuilder compiles a scenario document, surfacing every
+// validation and topology-graph error at construction.
+func NewScenarioBuilder(scn *Scenario) (*ScenarioBuilder, error) {
+	return core.NewScenarioBuilder(scn)
+}
 
 // ChurnConfig describes a flow-churn experiment: finite transfers
 // arriving as a Poisson process (the dynamic the paper's fixed

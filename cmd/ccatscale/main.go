@@ -320,7 +320,7 @@ func runTimeseries(s core.Setting, spec string, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	cfg := s.Config(flows, seed)
+	cfg := s.Build(flows, core.WithSeed(core.Seed(seed)))
 	cfg.SeriesInterval = sim.Second
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -376,7 +376,7 @@ func runCustom(s core.Setting, spec string, seed uint64) (*report.Table, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(s.Config(flows, seed))
+	res, err := core.Run(s.Build(flows, core.WithSeed(core.Seed(seed))))
 	if err != nil {
 		return nil, err
 	}

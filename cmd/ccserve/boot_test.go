@@ -43,7 +43,7 @@ func seedBacklog(t *testing.T, dir string) {
 	s.Drain()
 	for _, spec := range chaosSpecs() {
 		var st schema.JobStatus
-		do(t, s, "GET", "/v1/jobs/"+buildJob(spec).key, nil, &st)
+		do(t, s, "GET", "/v1/jobs/"+mustBuildJob(t, spec).key, nil, &st)
 		if st.State != schema.JobQueued {
 			t.Fatalf("seed job %s is %s after drain, want queued", spec.Name, st.State)
 		}
@@ -85,7 +85,7 @@ func TestBootSIGTERMBeforeRecovery(t *testing.T) {
 		terminal := 0
 		for _, spec := range chaosSpecs() {
 			var st schema.JobStatus
-			do(t, s, "GET", "/v1/jobs/"+buildJob(spec).key, nil, &st)
+			do(t, s, "GET", "/v1/jobs/"+mustBuildJob(t, spec).key, nil, &st)
 			if st.State == schema.JobDone {
 				terminal++
 			} else if schema.JobTerminal(st.State) {
@@ -124,7 +124,7 @@ func TestBootSIGTERMAfterRecovery(t *testing.T) {
 	// Nothing ran: the backlog still has pending records and no
 	// terminals.
 	for _, spec := range chaosSpecs() {
-		key := buildJob(spec).key
+		key := mustBuildJob(t, spec).key
 		ops := journalOpsForKey(t, dir, key)
 		if ops[store.OpQueued] == 0 && ops[store.OpClaimed] == 0 {
 			t.Fatalf("job %s lost its pending journal record", spec.Name)
@@ -146,7 +146,7 @@ func TestBootSIGTERMAfterRecovery(t *testing.T) {
 		done := 0
 		for _, spec := range chaosSpecs() {
 			var st schema.JobStatus
-			do(t, s, "GET", "/v1/jobs/"+buildJob(spec).key, nil, &st)
+			do(t, s, "GET", "/v1/jobs/"+mustBuildJob(t, spec).key, nil, &st)
 			if st.State == schema.JobDone {
 				done++
 			}

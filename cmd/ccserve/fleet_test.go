@@ -311,7 +311,7 @@ func TestFleetBootResolvesPoisonedBacklog(t *testing.T) {
 		t.Fatalf("boot: %v", err)
 	}
 	spec := chaosSpecs()[0]
-	key := buildJob(spec).key
+	key := mustBuildJob(t, spec).key
 	resp, rr := submit(t, s, spec)
 	if rr.Code != http.StatusCreated {
 		t.Fatalf("submit: %d: %s", rr.Code, rr.Body.String())
@@ -547,7 +547,7 @@ func TestFleetDrainCheckpointsRunningWorker(t *testing.T) {
 		Name: "chaos-long", Seed: 5, RateMbps: 50, BufferBytes: 65536, DurationS: 3600,
 		Flows: []schema.FlowGroup{{CCA: "reno", RTTMs: 20, Count: 2}},
 	}
-	key := buildJob(long).key
+	key := mustBuildJob(t, long).key
 	_, rr := submit(t, s, long)
 	if rr.Code != http.StatusCreated {
 		t.Fatalf("submit: %d: %s", rr.Code, rr.Body.String())
@@ -603,7 +603,7 @@ func TestFleetChaosKillEveryWorkerBoundary(t *testing.T) {
 	// counting mutations.
 	probeDir := t.TempDir()
 	spec := chaosSpecs()[0]
-	pj := buildJob(spec)
+	pj := mustBuildJob(t, spec)
 	payload, err := json.Marshal(schema.WorkerJob{
 		SchemaVersion: schema.Version, Out: probeDir, Spec: spec, Key: pj.key,
 		Owner: "probe", DeadlineMs: 30000, LeaseTTLMs: 2000, HeartbeatMs: 200,

@@ -47,23 +47,16 @@ type job struct {
 }
 
 // buildJob converts a validated JobSpec into the simulator's terms and
-// computes its content address and estimated footprint.
-func buildJob(spec schema.JobSpec) *job {
-	setting := core.Setting{
-		Name:     spec.Name,
-		Rate:     units.Bandwidth(spec.RateMbps * float64(units.MbitPerSec)),
-		Buffer:   units.ByteCount(spec.BufferBytes),
-		Warmup:   secondsToSim(spec.WarmupS),
-		Duration: secondsToSim(spec.DurationS),
-		Stagger:  secondsToSim(spec.StaggerS),
-		AQM:      spec.AQM,
-	}
-	var flows []core.FlowSpec
-	for _, g := range spec.Flows {
-		rtt := sim.Time(g.RTTMs * float64(sim.Millisecond))
-		for i := 0; i < g.Count; i++ {
-			flows = append(flows, core.FlowSpec{CCA: g.CCA, RTT: rtt})
-		}
+// computes its content address and estimated footprint. Compilation
+// runs through core.CompileSpec — the same path cmd/reproduce
+// -scenario takes — so a scenario's key is the same no matter which
+// front end ran it. It can fail past schema validation: topology
+// graph errors (unreachable nodes, broken paths) only surface when the
+// graph compiles.
+func buildJob(spec schema.JobSpec) (*job, error) {
+	setting, flows, err := core.CompileSpec(spec)
+	if err != nil {
+		return nil, err
 	}
 	j := &job{
 		spec:    spec,
@@ -73,17 +66,13 @@ func buildJob(spec schema.JobSpec) *job {
 	}
 	j.fp = core.EstimateConfig(j.config())
 	j.status = schema.JobStatus{Name: spec.Name, Key: j.key, State: schema.JobQueued}
-	return j
+	return j, nil
 }
 
 // config builds the job's RunConfig. Live attachments (Ctx, Telemetry)
 // are layered on by the worker per attempt.
 func (j *job) config() core.RunConfig {
 	return j.setting.Build(j.flows, core.WithSeed(core.Seed(j.spec.Seed)))
-}
-
-func secondsToSim(s float64) sim.Time {
-	return sim.Time(s * float64(sim.Second))
 }
 
 // jobKey is the content address of a job's result: name and seed in the

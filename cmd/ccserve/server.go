@@ -377,7 +377,10 @@ func (s *server) replay(rec store.JournalRecord) error {
 		}
 		j, ok := s.jobs[rec.Key]
 		if !ok {
-			j = buildJob(d.Spec)
+			j, err := buildJob(d.Spec)
+			if err != nil {
+				return nil // journaled by an older build; cannot re-run it
+			}
 			j.gen = rec.Gen
 			s.jobs[j.key] = j
 			s.addToBatch(d.Batch, rec.Key)
@@ -387,8 +390,9 @@ func (s *server) replay(rec store.JournalRecord) error {
 		// stub; the pending record carries the full spec, so restore it
 		// before the job can ever be re-run.
 		if j.setting.Name == "" {
-			nb := buildJob(d.Spec)
-			j.spec, j.setting, j.flows, j.fp = nb.spec, nb.setting, nb.flows, nb.fp
+			if nb, err := buildJob(d.Spec); err == nil {
+				j.spec, j.setting, j.flows, j.fp = nb.spec, nb.setting, nb.flows, nb.fp
+			}
 		}
 		if rec.Gen > j.gen || (rec.Gen == j.gen && !schema.JobTerminal(j.status.State)) {
 			j.gen = rec.Gen
@@ -495,8 +499,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		built[i] = buildJob(req.Jobs[i])
-		keys[i] = built[i].key
+		j, err := buildJob(req.Jobs[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		built[i] = j
+		keys[i] = j.key
 	}
 	batch := batchID(keys)
 

@@ -30,6 +30,16 @@ func testSpec(name string, seed uint64) schema.JobSpec {
 	}
 }
 
+// mustBuildJob compiles a spec the test knows is valid.
+func mustBuildJob(t testing.TB, spec schema.JobSpec) *job {
+	t.Helper()
+	j, err := buildJob(spec)
+	if err != nil {
+		t.Fatalf("buildJob(%s): %v", spec.Name, err)
+	}
+	return j
+}
+
 func testServerConfig(t *testing.T, workers int) serverConfig {
 	t.Helper()
 	return serverConfig{
@@ -494,7 +504,7 @@ func TestResubmitFailedJobAfterRebootRunsRealSpec(t *testing.T) {
 func TestReplayPendingBeatsStaleTerminalAcrossSegments(t *testing.T) {
 	cfg := testServerConfig(t, 1)
 	spec := testSpec("replayed", 9)
-	built := buildJob(spec)
+	built := mustBuildJob(t, spec)
 	qd, err := json.Marshal(queuedDetail{Spec: spec, Batch: "B"})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ccatscale/internal/schema"
+	"ccatscale/internal/store"
+)
+
+// topoSpec is a small two-bottleneck parking-lot job: ECN at both hops,
+// flows entering at different nodes, sized to run in milliseconds.
+func topoSpec(name string, seed uint64) schema.JobSpec {
+	return schema.JobSpec{
+		Name: name,
+		Seed: seed,
+		Topology: &schema.TopologyDoc{
+			Nodes: []string{"a", "b", "c"},
+			Links: []schema.LinkDoc{
+				{Name: "ab", From: "a", To: "b", RateMbps: 10, DelayMs: 2, BufferBytes: 32768, ECN: true},
+				{Name: "bc", From: "b", To: "c", RateMbps: 8, DelayMs: 2, BufferBytes: 32768, ECN: true},
+			},
+		},
+		Flows: []schema.FlowGroup{
+			{CCA: "cubic", RTTMs: 20, Count: 1, Path: []string{"ab", "bc"}},
+			{CCA: "reno", RTTMs: 20, Count: 1, Path: []string{"bc"}},
+		},
+		DurationS: 0.5,
+	}
+}
+
+// TestSubmitTopologyScenario is the service half of the scenario
+// acceptance: a topology job admitted over the wire runs through the
+// same worker path as dumbbell jobs and commits a schema-versioned
+// result to the store.
+func TestSubmitTopologyScenario(t *testing.T) {
+	cfg := testServerConfig(t, 1)
+	s := startServer(t, cfg)
+	defer s.Drain()
+
+	resp, rr := submit(t, s, topoSpec("parkinglot", 42))
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: %d: %s", rr.Code, rr.Body.String())
+	}
+	final := waitBatch(t, s, resp.Batch, 30*time.Second)
+	if final.Jobs[0].State != schema.JobDone {
+		t.Fatalf("topology job finished %s (%s), want done", final.Jobs[0].State, final.Jobs[0].Error)
+	}
+	st, err := store.OpenFS(filepath.Join(cfg.out, "store"), store.OSFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(final.Jobs[0].Key) {
+		t.Fatalf("store is missing topology result %s", final.Jobs[0].Key)
+	}
+
+	// Identity: the same document resolves to the same key; a different
+	// graph (one rate changed) must not.
+	if j := mustBuildJob(t, topoSpec("parkinglot", 42)); j.key != final.Jobs[0].Key {
+		t.Fatalf("identical topology keyed %s, want %s", j.key, final.Jobs[0].Key)
+	}
+	faster := topoSpec("parkinglot", 42)
+	faster.Topology.Links[1].RateMbps = 9
+	if j := mustBuildJob(t, faster); j.key == final.Jobs[0].Key {
+		t.Fatal("changing a link rate did not change the job key")
+	}
+}
+
+// TestSubmitTopologyRejections: graph defects bounce at admission with
+// 400, whether the structural schema check or the compile-time graph
+// check catches them — nothing un-runnable may reach the journal.
+func TestSubmitTopologyRejections(t *testing.T) {
+	s := startServer(t, testServerConfig(t, 0))
+	defer s.Drain()
+
+	zeroRate := topoSpec("a", 1)
+	zeroRate.Topology.Links[0].RateMbps = 0
+	if _, rr := submit(t, s, zeroRate); rr.Code != http.StatusBadRequest {
+		t.Fatalf("zero-capacity link: %d, want 400", rr.Code)
+	}
+
+	unreachable := topoSpec("a", 1)
+	unreachable.Topology.Nodes = append(unreachable.Topology.Nodes, "orphan")
+	if _, rr := submit(t, s, unreachable); rr.Code != http.StatusBadRequest {
+		t.Fatalf("unreachable node: %d, want 400", rr.Code)
+	}
+
+	brokenChain := topoSpec("a", 1)
+	brokenChain.Flows[0].Path = []string{"bc", "ab"}
+	if _, rr := submit(t, s, brokenChain); rr.Code != http.StatusBadRequest {
+		t.Fatalf("broken path chain: %d, want 400", rr.Code)
+	}
+
+	noPath := topoSpec("a", 1)
+	noPath.Flows[0].Path = nil
+	if _, rr := submit(t, s, noPath); rr.Code != http.StatusBadRequest {
+		t.Fatalf("missing path: %d, want 400", rr.Code)
+	}
+}

@@ -79,7 +79,10 @@ func workerRun(fsys store.FS, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ccserve worker: rlimit: %v\n", err)
 		}
 	}
-	j := buildJob(wj.Spec)
+	j, err := buildJob(wj.Spec)
+	if err != nil {
+		return failed("spec: " + err.Error())
+	}
 	if wj.Key != "" && j.key != wj.Key {
 		// Supervisor and worker disagree on the job's identity (version
 		// skew across a re-exec?): running would commit under the wrong

@@ -22,6 +22,11 @@
 //	                       crash-injection CI smoke uses to prove a
 //	                       killed-and-resumed sweep equals an
 //	                       uninterrupted one.
+//	fprint -viascenario    rebuild every base-matrix config through a
+//	                       scenario document (encode → parse → compile)
+//	                       before running it; the output must be a
+//	                       byte-identical prefix of a plain run — the
+//	                       declarative API introduces no drift.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"ccatscale/internal/core"
 	"ccatscale/internal/report"
+	"ccatscale/internal/schema"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/store"
 	"ccatscale/internal/telemetry"
@@ -44,6 +50,7 @@ func main() {
 	withTelemetry := flag.Bool("telemetry", false, "attach a telemetry collector to every run (output must not change)")
 	checkFile := flag.String("check", "", "validate a JSON table or telemetry JSONL file against the result schema and exit")
 	storeDir := flag.String("store", "", "fingerprint the content-addressed result store in this directory and exit")
+	viaScenario := flag.Bool("viascenario", false, "build the base matrix through scenario documents (output must equal a plain run's base matrix)")
 	flag.Parse()
 
 	if *checkFile != "" {
@@ -73,7 +80,7 @@ func main() {
 		}
 		coll = telemetry.Multi(stream.Collector("fprint"), reg.Instrument())
 	}
-	fingerprint(coll)
+	fingerprint(coll, *viaScenario)
 	if *withTelemetry {
 		if err := stream.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "fprint: telemetry stream: %v\n", err)
@@ -147,6 +154,40 @@ func firstLine(data []byte) []byte {
 	return data
 }
 
+// scenarioEquivalent re-expresses one base-matrix config as a scenario
+// document and compiles it back through the full declarative path —
+// Encode, ParseScenario, NewScenarioBuilder, RunConfig — returning the
+// config that path would run. Any drift between this and the direct
+// construction shows up as a fingerprint diff.
+func scenarioEquivalent(cfg core.RunConfig, cca string, seed uint64, coll telemetry.Collector) (core.RunConfig, error) {
+	doc := schema.Scenario{
+		JobSpec: schema.JobSpec{
+			Name:        "fprint",
+			Seed:        seed,
+			RateMbps:    float64(cfg.Rate) / float64(units.MbitPerSec),
+			BufferBytes: int64(cfg.Buffer),
+			Flows:       []schema.FlowGroup{{CCA: cca, RTTMs: 20, Count: 4}},
+			WarmupS:     float64(cfg.Warmup) / float64(sim.Second),
+			DurationS:   float64(cfg.Duration) / float64(sim.Second),
+			StaggerS:    float64(cfg.Stagger) / float64(sim.Second),
+		},
+		SeriesIntervalS: float64(cfg.SeriesInterval) / float64(sim.Second),
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	parsed, err := schema.ParseScenario(data)
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	b, err := core.NewScenarioBuilder(parsed)
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	return b.RunConfig(core.WithRunCollector(coll)), nil
+}
+
 func totalEvents(snap telemetry.Snapshot) int64 {
 	var total int64
 	for name, v := range snap.Counters {
@@ -159,8 +200,12 @@ func totalEvents(snap telemetry.Snapshot) int64 {
 
 // fingerprint runs the fixed experiment matrix and prints the
 // deterministic result lines. coll, when non-nil, is attached to every
-// run; it must not change a single printed byte.
-func fingerprint(coll telemetry.Collector) {
+// run; it must not change a single printed byte. viaScenario rebuilds
+// each base-matrix config from a scenario document — encode, parse,
+// compile — instead of constructing the RunConfig directly; the base
+// matrix must print byte-identically either way, and the impairment
+// variants (not expressible as scenarios) are skipped.
+func fingerprint(coll telemetry.Collector, viaScenario bool) {
 	ccas := []string{"reno", "cubic", "cubic-nohystart", "bbr", "bbr2"}
 	for _, cca := range ccas {
 		for _, seed := range []uint64{1, 7, 42} {
@@ -174,6 +219,14 @@ func fingerprint(coll telemetry.Collector) {
 				Seed:           seed,
 				SeriesInterval: 500 * sim.Millisecond,
 				Collector:      coll,
+			}
+			if viaScenario {
+				var err error
+				cfg, err = scenarioEquivalent(cfg, cca, seed, coll)
+				if err != nil {
+					fmt.Printf("%s/%d: ERR %v\n", cca, seed, err)
+					continue
+				}
 			}
 			res, err := core.Run(cfg)
 			if err != nil {
@@ -190,6 +243,9 @@ func fingerprint(coll telemetry.Collector) {
 				fmt.Printf("  s %d %v\n", int64(pt.At), pt.Rates)
 			}
 		}
+	}
+	if viaScenario {
+		return
 	}
 	// Impairment paths: jitter, burst loss, outage, codel, audit strict.
 	variants := []struct {

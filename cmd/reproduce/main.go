@@ -4,7 +4,7 @@
 // EXPERIMENTS.md.
 //
 //	reproduce [-out DIR] [-scale N] [-seed N] [-quick] [-resume] [-only RE] [-audit strict]
-//	          [-mem-budget 512M] [-event-budget N] [-retries N]
+//	          [-scenario file.json] [-mem-budget 512M] [-event-budget N] [-retries N]
 //	          [-progress] [-telemetry out.jsonl] [-pprof localhost:6060]
 //
 // -quick shrinks windows and flow counts for a minutes-long smoke pass;
@@ -101,6 +101,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs")
 	resume := fs.Bool("resume", false, "skip jobs already completed per the output directory's manifest")
 	only := fs.String("only", "", "regexp restricting which jobs run")
+	scenarioPath := fs.String("scenario", "", "run one scenario document (versioned JSON; see DESIGN.md) instead of the paper sweep")
 	panicJob := fs.String("panicjob", "", "inject a mid-run panic into the named job (supervisor drill)")
 	wallLimit := fs.Duration("runwall", 0, "wall-clock limit per simulation run (0 = unlimited)")
 	auditPol := fs.String("audit", "", "invariant auditing for every run: off (default), warn, or strict")
@@ -277,6 +278,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return churnTable(s, *seed)
 		}},
 	)
+
+	if *scenarioPath != "" {
+		sj, scnSeed, err := loadScenarioJob(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 2
+		}
+		// Governance flags overlay the document like any other job; the
+		// document's own audit policy stands unless -audit is given.
+		sj.setting.WallLimit = *wallLimit
+		if *auditPol != "" {
+			sj.setting.Audit = *auditPol
+		}
+		sj.setting.Budget = runBudget
+		sj.setting.Retries = *retries
+		jobs = []job{sj}
+		// The document's seed is the run's seed: keys, the manifest, and
+		// table footers all record what actually ran.
+		*seed = scnSeed
+	}
 
 	hash := configHash(*seed, *scale, *quick, jobs)
 	keys := make(map[string]string, len(jobs))

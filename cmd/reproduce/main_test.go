@@ -287,7 +287,7 @@ func quickEdge() core.Setting {
 // given fidelity tier, mirroring the sweep's config construction (the
 // drop-timestamp cap is the only knob it sets beyond the setting).
 func mathisHeapEstimate(s core.Setting, flows, tier int) int64 {
-	cfg := s.Config(core.UniformFlows(flows, "reno", core.DefaultRTT), 11)
+	cfg := s.Build(core.UniformFlows(flows, "reno", core.DefaultRTT), core.WithSeed(core.Seed(11)))
 	cfg.MaxDropTimestamps = 1 << 20
 	if tier > 0 {
 		cfg = core.DegradeTier(cfg, tier)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"ccatscale/internal/core"
+	"ccatscale/internal/metrics"
+	"ccatscale/internal/report"
+	"ccatscale/internal/schema"
+	"ccatscale/internal/sim"
+	"ccatscale/internal/units"
+)
+
+// loadScenarioJob reads, parses, and compiles one scenario document
+// into a sweep job, so a file-driven run flows through exactly the
+// same journal/store/lease machinery as the paper sweep. The document
+// carries its own seed; it is folded into the job name so two
+// scenarios differing only by seed commit under different keys.
+func loadScenarioJob(path string) (job, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return job{}, 0, err
+	}
+	scn, err := schema.ParseScenario(data)
+	if err != nil {
+		return job{}, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	b, err := core.NewScenarioBuilder(scn)
+	if err != nil {
+		return job{}, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	name := fmt.Sprintf("scenario_%s_seed%d", scn.Name, scn.Seed)
+	return job{
+		name:    name,
+		setting: b.Setting(),
+		run: func(s core.Setting) (*report.Table, error) {
+			return scenarioTable(b, scn, s)
+		},
+	}, scn.Seed, nil
+}
+
+// scenarioTable runs the compiled scenario under the job's governed
+// setting copy — so -audit, -runwall, budget flags, and the fidelity
+// ladder overlay the document like any other job — and renders the
+// canonical per-flow table plus per-link notes for topology runs.
+func scenarioTable(b *core.ScenarioBuilder, scn *schema.Scenario, s core.Setting) (*report.Table, error) {
+	opts := []core.ConfigOption{core.WithSeed(b.Seed())}
+	if scn.SeriesIntervalS > 0 {
+		iv := sim.Time(scn.SeriesIntervalS * float64(sim.Second))
+		opts = append(opts, func(c *core.RunConfig) { c.SeriesInterval = iv })
+	}
+	cfg := s.Build(b.Flows(), opts...)
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable("Scenario: "+scn.Name,
+		"flow", "cca", "rtt_ms", "goodput_mbps", "delivered_segs", "drops", "ecn_resp", "retx_rate")
+	goodputs := make([]float64, len(res.Flows))
+	for i, f := range res.Flows {
+		goodputs[i] = float64(f.Goodput)
+		retx := 0.0
+		if f.SegmentsSent > 0 {
+			retx = 1 - float64(f.SegmentsDelivered)/float64(f.SegmentsSent)
+			if retx < 0 {
+				retx = 0
+			}
+		}
+		tab.AddRow(i, f.Spec.CCA,
+			float64(f.Spec.RTT)/float64(sim.Millisecond),
+			float64(f.Goodput)/float64(units.MbitPerSec),
+			f.SegmentsDelivered, f.Drops, f.ECNResponses, report.Pct(retx))
+	}
+	tab.AddNote("aggregate goodput %.2f Mbps, utilization %s, JFI %.4f",
+		float64(res.AggregateGoodput)/float64(units.MbitPerSec),
+		report.Pct(res.Utilization), metrics.JFI(goodputs))
+	if res.CEMarks > 0 {
+		tab.AddNote("ECN: %d CE marks across the fabric", res.CEMarks)
+	}
+	for _, l := range res.Links {
+		tab.AddNote("link %-12s rate %7.1f Mbps  util %6s  tx %d pkts  drops %d B  CE %d",
+			l.Name, float64(l.Rate)/float64(units.MbitPerSec),
+			report.Pct(l.Utilization), l.TxPackets, l.DropWire, l.CEMarks)
+	}
+	if res.Converged {
+		tab.AddNote("converged at %v (window %v)", res.Window, res.Window)
+	}
+	return tab, nil
+}

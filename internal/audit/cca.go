@@ -158,6 +158,20 @@ func (w *auditedCCA) OnExitRecovery(now sim.Time) {
 	w.checkTransition()
 }
 
+func (w *auditedCCA) OnECNMark(now sim.Time, inFlight units.ByteCount) {
+	prior := w.inner.Cwnd()
+	w.inner.OnECNMark(now, inFlight)
+	w.checkCommon()
+	w.checkTransition()
+	// An ECN response must never grow the window: it is a congestion
+	// signal, reacted to like a loss (RFC 3168 §6.1.2), minus the
+	// retransmission. The 2-segment floor still applies.
+	if cwnd := w.inner.Cwnd(); cwnd > prior && cwnd > 2*w.mss {
+		w.aud.Reportf("cca/no-decrease-on-ecn", w.flow,
+			"%s grew cwnd on ECN mark: %d -> %d", w.inner.Name(), prior, cwnd)
+	}
+}
+
 func (w *auditedCCA) OnRTO(now sim.Time) {
 	prior := w.inner.Cwnd()
 	w.inner.OnRTO(now)

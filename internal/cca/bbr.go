@@ -496,6 +496,12 @@ func (b *BBR) OnEnterRecovery(_ sim.Time, inFlight units.ByteCount) {
 // conservation replaces the transport's PRR.
 func (b *BBR) ControlsRecovery() {}
 
+// OnECNMark implements CCA: BBRv1 famously ignores ECN (and loss) as a
+// congestion signal — the model alone drives the rate. The paper's BBR
+// findings (Finding 10's RTT-inverted unfairness) hinge on exactly this
+// deafness, so the simulation preserves it.
+func (b *BBR) OnECNMark(_ sim.Time, _ units.ByteCount) {}
+
 // OnExitRecovery implements CCA.
 func (b *BBR) OnExitRecovery(_ sim.Time) {
 	b.inRecovery = false

@@ -448,6 +448,26 @@ func (b *BBR2) OnEnterRecovery(_ sim.Time, inFlight units.ByteCount) {
 	}
 }
 
+// OnECNMark implements CCA: unlike v1, BBRv2 listens to ECN — an echoed
+// CE mark takes the same β cut on the short-term bounds as a loss
+// (simplified from the draft's per-round ECN fraction accounting), but
+// without entering packet conservation: nothing was lost, so the pipe
+// estimate stays trustworthy.
+func (b *BBR2) OnECNMark(_ sim.Time, inFlight units.ByteCount) {
+	if b.inRecovery {
+		return
+	}
+	bw := units.Bandwidth(b.btlBwFilter.Get())
+	cut := units.Bandwidth(bbr2Beta * float64(bw))
+	if b.bwLo == 0 || cut < b.bwLo {
+		b.bwLo = cut
+	}
+	infCut := units.ByteCount(bbr2Beta * float64(inFlight))
+	if b.inflightLo == 0 || infCut < b.inflightLo {
+		b.inflightLo = infCut
+	}
+}
+
 // OnExitRecovery implements CCA.
 func (b *BBR2) OnExitRecovery(_ sim.Time) {
 	b.inRecovery = false

@@ -85,6 +85,12 @@ type CCA interface {
 	// OnRTO is invoked on a retransmission timeout.
 	OnRTO(now sim.Time)
 
+	// OnECNMark is invoked when an arriving ACK echoes congestion
+	// (RFC 3168 ECE) and the transport elects to react — at most once
+	// per window of data, like a single loss event but with nothing to
+	// retransmit. inFlight is the pipe estimate at the mark.
+	OnECNMark(now sim.Time, inFlight units.ByteCount)
+
 	// Cwnd returns the current congestion window in bytes. The
 	// transport sends while in-flight bytes stay below it.
 	Cwnd() units.ByteCount

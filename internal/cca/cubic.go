@@ -225,6 +225,16 @@ func (c *Cubic) OnEnterRecovery(_ sim.Time, _ units.ByteCount) {
 // OnExitRecovery implements CCA.
 func (c *Cubic) OnExitRecovery(_ sim.Time) { c.inRecovery = false }
 
+// OnECNMark implements CCA: an echoed CE mark takes the RFC 8312
+// multiplicative decrease (with fast convergence), the Linux cubic
+// response to ECN, without entering a recovery episode.
+func (c *Cubic) OnECNMark(_ sim.Time, _ units.ByteCount) {
+	if c.inRecovery {
+		return
+	}
+	c.reduce()
+}
+
 // OnRTO implements CCA: like NewReno, collapse to one segment; the
 // cubic epoch restarts from the reduced window.
 func (c *Cubic) OnRTO(_ sim.Time) {

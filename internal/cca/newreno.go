@@ -91,6 +91,18 @@ func (r *Reno) OnEnterRecovery(_ sim.Time, _ units.ByteCount) {
 // OnExitRecovery implements CCA.
 func (r *Reno) OnExitRecovery(_ sim.Time) { r.inRecovery = false }
 
+// OnECNMark implements CCA: RFC 3168 §6.1.2 — react to an echoed CE
+// mark exactly as to a single lost segment, halving the window, but
+// with nothing to retransmit and no recovery episode.
+func (r *Reno) OnECNMark(_ sim.Time, _ units.ByteCount) {
+	if r.inRecovery {
+		return
+	}
+	r.ssthresh = maxBytes(r.cwnd/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+	r.acked = 0
+}
+
 // OnRTO implements CCA: collapse to one segment and restart slow start
 // toward half the pre-timeout window (RFC 5681 §3.1).
 func (r *Reno) OnRTO(_ sim.Time) {

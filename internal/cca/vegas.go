@@ -129,6 +129,19 @@ func (v *Vegas) OnEnterRecovery(_ sim.Time, _ units.ByteCount) {
 // OnExitRecovery implements CCA.
 func (v *Vegas) OnExitRecovery(_ sim.Time) { v.inRecovery = false }
 
+// OnECNMark implements CCA: Vegas has no native ECN response, so it
+// borrows its own mild fast-retransmit reaction (window to 3/4) — the
+// mark says a queue formed that the delay controller missed.
+func (v *Vegas) OnECNMark(_ sim.Time, _ units.ByteCount) {
+	if v.inRecovery {
+		return
+	}
+	v.cwnd = v.cwnd * 3 / 4
+	v.clampFloor()
+	v.ssthresh = v.cwnd
+	v.inSlowStart = false
+}
+
 // OnRTO implements CCA.
 func (v *Vegas) OnRTO(_ sim.Time) {
 	v.ssthresh = maxBytes(v.cwnd/2, 2*v.mss)

@@ -16,7 +16,7 @@ func auditedTinyConfig(seed uint64) RunConfig {
 	s := tinySetting()
 	s.Warmup = 2 * sim.Second
 	s.Duration = 8 * sim.Second
-	cfg := s.Config(UniformFlows(4, "cubic", DefaultRTT), seed)
+	cfg := s.Build(UniformFlows(4, "cubic", DefaultRTT), WithSeed(Seed(seed)))
 	cfg.Audit = "strict"
 	return cfg
 }

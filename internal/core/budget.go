@@ -41,15 +41,27 @@ func EstimateConfig(cfg RunConfig) budget.Footprint {
 	if c.SeriesInterval > 0 {
 		width = len(ccas)
 	}
+	rate, buffer := c.Rate, c.Buffer
 	var slots int64
-	if c.Buffer > 0 {
+	if c.Topology != nil {
+		// A topology run's event cost is governed by its slowest link
+		// (the primary bottleneck paces every path through it), while
+		// memory scales with the sum of all queues: each link owns a
+		// ring sized for its own buffer.
+		rate, _ = c.Topology.MinRate()
+		buffer = 0
+		for _, l := range c.Topology.Links {
+			buffer += l.Buffer
+			slots += int64(netem.RingSlotsFor(l.Buffer))
+		}
+	} else if c.Buffer > 0 {
 		slots = int64(netem.RingSlotsFor(c.Buffer))
 	}
 	return budget.Estimate(budget.Input{
 		Flows:             len(c.Flows),
-		RateBps:           int64(c.Rate),
-		BufferBytes:       int64(c.Buffer),
-		BDPBytes:          int64(units.BDP(c.Rate, maxRTT)),
+		RateBps:           int64(rate),
+		BufferBytes:       int64(buffer),
+		BDPBytes:          int64(units.BDP(rate, maxRTT)),
 		FrameBytes:        int64(c.MSS + packet.HeaderBytes),
 		SegmentBytes:      int64(c.MSS),
 		QueueSlots:        slots,

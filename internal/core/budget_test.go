@@ -113,7 +113,7 @@ func TestTraceBudgetDegradesSeries(t *testing.T) {
 // the others and reports the rejection as a structured admission error.
 func TestRunManyCtxAdmission(t *testing.T) {
 	small := budgetTestConfig()
-	huge := CoreScale().Config(UniformFlows(5000, "reno", 200*sim.Millisecond), 1)
+	huge := CoreScale().Build(UniformFlows(5000, "reno", 200*sim.Millisecond), WithSeed(Seed(1)))
 	results, err := RunManyCtx(context.Background(), []RunConfig{huge, small},
 		SweepOptions{Parallelism: 2, Budget: &budget.Budget{HeapBytes: 256 << 20}})
 	if err == nil {
@@ -266,9 +266,9 @@ func TestDegradeTierLadder(t *testing.T) {
 // TestEstimateConfigScales: the estimator must separate the paper's
 // regimes by an order of magnitude — that is all admission needs.
 func TestEstimateConfigScales(t *testing.T) {
-	edge := EdgeScale().Config(UniformFlows(50, "reno", 20*sim.Millisecond), 1)
+	edge := EdgeScale().Build(UniformFlows(50, "reno", 20*sim.Millisecond), WithSeed(Seed(1)))
 	c := CoreScale()
-	coreCfg := c.Config(UniformFlows(5000, "reno", 200*sim.Millisecond), 1)
+	coreCfg := c.Build(UniformFlows(5000, "reno", 200*sim.Millisecond), WithSeed(Seed(1)))
 	fe, fc := EstimateConfig(edge), EstimateConfig(coreCfg)
 	if fc.HeapBytes < 4*fe.HeapBytes {
 		t.Fatalf("CoreScale heap %d not well above EdgeScale %d", fc.HeapBytes, fe.HeapBytes)

@@ -32,7 +32,7 @@ func IntraCCASweep(s Setting, ccaName string, rtts []sim.Time, seed uint64, para
 	var meta []FairnessRow
 	for _, rtt := range rtts {
 		for _, n := range s.FlowCounts {
-			cfgs = append(cfgs, s.Config(UniformFlows(n, ccaName, rtt), seed+uint64(len(cfgs))))
+			cfgs = append(cfgs, s.Build(UniformFlows(n, ccaName, rtt), WithSeed(Seed(seed+uint64(len(cfgs))))))
 			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
 		}
 	}
@@ -75,7 +75,7 @@ func InterCCASweep(s Setting, mode InterCCAMode, ccaA, ccaB string, rtts []sim.T
 			case OneVersusMany:
 				flows = OneVersusFlows(n, ccaA, ccaB, rtt)
 			}
-			cfgs = append(cfgs, s.Config(flows, seed+uint64(len(cfgs))))
+			cfgs = append(cfgs, s.Build(flows, WithSeed(Seed(seed+uint64(len(cfgs))))))
 			meta = append(meta, FairnessRow{Setting: s.Name, FlowCount: n, RTT: rtt})
 		}
 	}

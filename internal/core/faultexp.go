@@ -63,7 +63,7 @@ type BurstRow struct {
 func BurstLossSweep(s Setting, seed uint64, parallelism int) ([]BurstRow, error) {
 	cfgs := make([]RunConfig, len(BurstLens))
 	for i, blen := range BurstLens {
-		cfg := s.Config(UniformFlows(burstFlows, "reno", DefaultRTT), seed+uint64(i))
+		cfg := s.Build(UniformFlows(burstFlows, "reno", DefaultRTT), WithSeed(Seed(seed+uint64(i))))
 		cfg.BurstLoss = &BurstLossSpec{MeanLoss: BurstMeanLoss, MeanBurstLen: blen}
 		cfgs[i] = cfg
 	}
@@ -156,10 +156,10 @@ func OutageSweep(s Setting, seed uint64, parallelism int) ([]OutageRow, error) {
 	var cfgs []RunConfig
 	for ci, cca := range OutageCCAs {
 		// Baseline first, then one run per down-time.
-		base := s.Config(UniformFlows(n, cca, DefaultRTT), seed+uint64(100*ci))
+		base := s.Build(UniformFlows(n, cca, DefaultRTT), WithSeed(Seed(seed+uint64(100*ci))))
 		cfgs = append(cfgs, base)
 		for di, down := range OutageDowns {
-			cfg := s.Config(UniformFlows(n, cca, DefaultRTT), seed+uint64(100*ci+di+1))
+			cfg := s.Build(UniformFlows(n, cca, DefaultRTT), WithSeed(Seed(seed+uint64(100*ci+di+1))))
 			cfg.Outage = &OutageSpec{
 				Start:  s.Warmup + outagePeriod/2,
 				Down:   down,

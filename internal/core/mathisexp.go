@@ -92,7 +92,7 @@ func MathisAnalyze(setting string, flowCount int, res RunResult) MathisRow {
 func MathisSweep(s Setting, seed uint64, parallelism int) ([]MathisRow, error) {
 	cfgs := make([]RunConfig, len(s.FlowCounts))
 	for i, n := range s.FlowCounts {
-		cfg := s.Config(UniformFlows(n, "reno", DefaultRTT), seed+uint64(i))
+		cfg := s.Build(UniformFlows(n, "reno", DefaultRTT), WithSeed(Seed(seed+uint64(i))))
 		// Cap drop retention for the burstiness analysis — unless the
 		// setting's fidelity tier already degraded the cap below this.
 		if cfg.MaxDropTimestamps == 0 {

@@ -106,6 +106,25 @@ type RunConfig struct {
 	// AQM selects the bottleneck discipline ("" or "droptail" = the
 	// paper's drop-tail; "codel" = RFC 8289 CoDel, an extension axis).
 	AQM string
+	// Topology, when non-nil, replaces the dumbbell with a declared
+	// multi-bottleneck graph: per-link rates, delays, buffers,
+	// disciplines, and impairments, with flow f routed over
+	// Topology.Paths[f] (so len(Paths) must equal len(Flows)). Rate,
+	// Buffer, and AQM are ignored — every link declares its own — while
+	// per-flow base RTTs still come from Flows, the residual after the
+	// forward propagation delays riding the ACK return path.
+	Topology *netem.TopologySpec `json:",omitempty"`
+	// ECN enables RFC 3168 end-to-end negotiation: senders mark new
+	// data ECT, marking queues set CE instead of (or ahead of)
+	// dropping, receivers echo ECE, and senders reduce once per window
+	// of data. On the dumbbell it also arms CE marking at the
+	// bottleneck; topology links arm marking individually via
+	// LinkSpec.ECN.
+	ECN bool `json:",omitempty"`
+	// ECNMarkBytes overrides the dumbbell's drop-tail CE-marking
+	// threshold in wire bytes (0 = a quarter of the buffer; ignored by
+	// CoDel, whose control law decides when to mark).
+	ECNMarkBytes units.ByteCount `json:",omitempty"`
 	// Audit selects the invariant-auditing policy: "" or "off" disables
 	// it, "warn" counts violations and reports them in the result,
 	// "strict" fails the run at the first violation with a structured,
@@ -175,8 +194,19 @@ func (c *RunConfig) validate() error {
 	for i, f := range c.Flows {
 		rtts[i] = f.RTT
 	}
-	if err := (netem.DumbbellConfig{Rate: c.Rate, Buffer: c.Buffer, RTT: rtts}).Validate(); err != nil {
+	if c.Topology != nil {
+		if len(c.Topology.Paths) != len(c.Flows) {
+			return fmt.Errorf("core: topology declares %d flow paths but config has %d flows",
+				len(c.Topology.Paths), len(c.Flows))
+		}
+		if err := (netem.TopologyConfig{Spec: *c.Topology, RTT: rtts}).Validate(); err != nil {
+			return err
+		}
+	} else if err := (netem.DumbbellConfig{Rate: c.Rate, Buffer: c.Buffer, RTT: rtts}).Validate(); err != nil {
 		return err
+	}
+	if c.ECNMarkBytes < 0 {
+		return fmt.Errorf("core: negative ECN marking threshold")
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("core: non-positive duration")
@@ -254,6 +284,11 @@ type FlowResult struct {
 	// MeanRTT and MinRTT summarize the flow's window RTT samples.
 	MeanRTT sim.Time
 	MinRTT  sim.Time
+
+	// ECNResponses counts window reductions taken in response to ECE
+	// echoes during the window (0 without ECN) — congestion events that
+	// cost no retransmission, so they are not part of Halvings.
+	ECNResponses uint64 `json:",omitempty"`
 }
 
 // RunResult aggregates one run.
@@ -288,6 +323,14 @@ type RunResult struct {
 	// performance reporting).
 	Events uint64
 
+	// CEMarks counts CE marks made across the fabric over the whole run
+	// (0 without ECN).
+	CEMarks uint64 `json:",omitempty"`
+	// Links reports per-link counters for topology runs, in declaration
+	// order (nil for the classic dumbbell, whose single bottleneck is
+	// reported by the top-level fields).
+	Links []netem.LinkStat `json:",omitempty"`
+
 	// AuditViolations counts invariant violations observed under the
 	// "warn" audit policy (under "strict" the first violation fails the
 	// run instead, so a successful strict result always reports 0).
@@ -319,6 +362,7 @@ type flowSnap struct {
 	rttSum      sim.Time
 	rttCount    uint64
 	deliveredTx units.ByteCount // sender-side delivered counter
+	ecnResps    uint64
 }
 
 // Run executes one experiment under the run supervisor and returns its
@@ -451,33 +495,60 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 	for i, f := range cfg.Flows {
 		rtts[i] = f.RTT
 	}
-	discipline := netem.DropTail
-	if cfg.AQM == "codel" {
-		discipline = netem.CoDel
+	// The fabric: the paper's dumbbell, or — when a topology is declared
+	// — the general multi-bottleneck graph. The dumbbell branch is built
+	// exactly as before (same constructor, same RNG consumption), so
+	// dumbbell runs stay bit-identical to earlier releases.
+	//
+	// The transport negotiates ECN whenever anything in the fabric can
+	// mark: queues only ever mark ECT traffic, so a topology with an
+	// ECN link but non-ECT senders would silently never mark.
+	ecn := cfg.ECN
+	var fab netem.Fabric
+	if cfg.Topology != nil {
+		for _, l := range cfg.Topology.Links {
+			if l.ECN {
+				ecn = true
+				break
+			}
+		}
+		fab = netem.NewTopology(eng, rng.Split(), netem.TopologyConfig{
+			Spec:   *cfg.Topology,
+			RTT:    rtts,
+			OnDrop: qlog.OnDrop,
+			Audit:  aud,
+		})
+	} else {
+		discipline := netem.DropTail
+		if cfg.AQM == "codel" {
+			discipline = netem.CoDel
+		}
+		fab = netem.NewDumbbell(eng, netem.DumbbellConfig{
+			Rate:         cfg.Rate,
+			Buffer:       cfg.Buffer,
+			RTT:          rtts,
+			OnDrop:       qlog.OnDrop,
+			Discipline:   discipline,
+			ECN:          cfg.ECN,
+			ECNMarkBytes: cfg.ECNMarkBytes,
+			Audit:        aud,
+		})
 	}
-	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
-		Rate:       cfg.Rate,
-		Buffer:     cfg.Buffer,
-		RTT:        rtts,
-		OnDrop:     qlog.OnDrop,
-		Discipline: discipline,
-		Audit:      aud,
-	})
 	if cfg.AuditDrillAt > 0 {
 		// The seeded accounting bug: corrupt the queue's byte counter at
 		// the requested time. The conservation ledger must catch it on
 		// the next queue operation.
-		eng.Schedule(cfg.AuditDrillAt, func() { db.DrillCorruptQueue() })
+		eng.Schedule(cfg.AuditDrillAt, func() { fab.DrillCorruptQueue() })
 	}
 
 	// End-to-end ledger terms (forward data path only; ACKs ride the
 	// uncongested reverse path and never enter the bottleneck).
 	var injectedWire, arrivedWire units.ByteCount
-	output := db.SendData
+	output := fab.SendData
 	if aud != nil {
 		output = func(p packet.Packet) {
 			injectedWire += p.WireBytes()
-			db.SendData(p)
+			fab.SendData(p)
 		}
 	}
 
@@ -494,6 +565,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 			MSS:       cfg.MSS,
 			CCA:       wrapped,
 			Output:    output,
+			ECN:       ecn,
 			Audit:     aud,
 			Telemetry: coll,
 		})
@@ -501,7 +573,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 			DelAckDelay: cfg.DelAckDelay,
 			GROWindow:   cfg.GROWindow,
 			Audit:       aud,
-		}, db.SendAck)
+		}, fab.SendAck)
 	}
 	// Forward-path impairment chain, innermost first: the receiver,
 	// then netem-style iid loss/jitter, then Gilbert–Elliott burst
@@ -546,7 +618,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 		}, toReceiver)
 		toReceiver = outg.Send
 	}
-	db.SetEndpoints(
+	fab.SetEndpoints(
 		toReceiver,
 		func(p packet.Packet) { senders[p.Flow].OnAck(p) },
 	)
@@ -677,7 +749,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 		// second. Both are pure observations of already-committed state.
 		var occ netem.OccupancyStats
 		if coll != nil {
-			occ, _ = db.Port().Queue().(netem.OccupancyStats)
+			occ, _ = fab.Port().Queue().(netem.OccupancyStats)
 		}
 		var lastPeakBytes units.ByteCount
 		var nextSample sim.Time
@@ -774,7 +846,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 
 	stopAt := eng.Run(end)
 	if aud != nil && watchdogReason == "" {
-		checkEndToEnd(aud, injectedWire, arrivedWire, db, imp, ge, outg)
+		checkEndToEnd(aud, injectedWire, arrivedWire, fab, imp, ge, outg)
 	}
 	if watchdogReason != "" {
 		return RunResult{}, &RunError{
@@ -796,7 +868,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 		Config:      cfg,
 		Window:      window,
 		Converged:   converged,
-		Utilization: db.Port().Utilization(),
+		Utilization: fab.Port().Utilization(),
 		Events:      eng.Processed(),
 	}
 	for i := range cfg.Flows {
@@ -838,9 +910,20 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 		res.Usage.TracePoints += int64(len(series.Points()) * len(seriesNames))
 		res.Usage.MaxDecimation = series.Decimation()
 	}
-	if st, ok := db.Port().Queue().(netem.OccupancyStats); ok {
+	if st, ok := fab.Port().Queue().(netem.OccupancyStats); ok {
 		res.Usage.PeakQueueBytes = int64(st.MaxBytes())
 		res.Usage.PeakQueuePackets = int64(st.MaxLen())
+	}
+	// Per-link counters: every fabric reports them; the result retains
+	// the list for topology runs (the dumbbell's single bottleneck is
+	// already covered by the top-level fields) and the fabric-wide CE
+	// mark count either way.
+	linkStats := fab.LinkStats()
+	for _, l := range linkStats {
+		res.CEMarks += l.CEMarks
+	}
+	if cfg.Topology != nil {
+		res.Links = linkStats
 	}
 	if coll != nil {
 		coll.Emit(telemetry.Event{
@@ -856,15 +939,17 @@ func RunCtx(ctx context.Context, cfg RunConfig) (res RunResult, err error) {
 	return res, nil
 }
 
-// checkEndToEnd verifies the end-of-run byte-conservation ledger for the
-// forward data path: every wire byte the senders injected is accounted
-// for as arrived at a receiver, dropped (bottleneck, impairment, burst
-// loss, or outage), still queued or serializing at the bottleneck, in
-// propagation flight, parked in a jitter timer, or held by an outage in
-// hold mode.
-func checkEndToEnd(aud *audit.Auditor, injected, arrived units.ByteCount, db *netem.Dumbbell, imp *netem.Impairment, ge *netem.GilbertElliott, outg *netem.Outage) {
-	port := db.Port()
-	inNetwork := port.Queue().Bytes() + port.SerializingBytes() + db.PropagatingBytes()
+// checkEndToEnd verifies the end-of-run byte-conservation ledgers for
+// the forward data path. The byte ledger: every wire byte the senders
+// injected is accounted for as arrived at a receiver, dropped inside
+// the fabric (queues, AQM, per-link impairment), still inside it
+// (queued, serializing, or in propagation flight), parked in a jitter
+// timer, or held by an outage in hold mode. The ECN ledger: every wire
+// byte CE-marked by a fabric queue is delivered, dropped after
+// marking, or still inside the fabric — marks never vanish and never
+// multiply.
+func checkEndToEnd(aud *audit.Auditor, injected, arrived units.ByteCount, fab netem.Fabric, imp *netem.Impairment, ge *netem.GilbertElliott, outg *netem.Outage) {
+	inNetwork := fab.InNetworkBytes()
 	impaired := units.ByteCount(0)
 	if imp != nil {
 		impaired += imp.DropBytes() + imp.ParkedBytes()
@@ -875,12 +960,20 @@ func checkEndToEnd(aud *audit.Auditor, injected, arrived units.ByteCount, db *ne
 	if outg != nil {
 		impaired += outg.DropBytes() + outg.HeldBytes()
 	}
-	accounted := arrived + db.BottleneckDropWire() + inNetwork + impaired
+	accounted := arrived + fab.DropWire() + inNetwork + impaired
 	if injected != accounted {
 		aud.Reportf("netem/end-to-end-conservation", -1,
-			"at run end: injected %d wire bytes != arrived %d + bottleneck dropped %d + in network %d + impaired %d (missing %d)",
-			injected, arrived, db.BottleneckDropWire(), inNetwork, impaired,
+			"at run end: injected %d wire bytes != arrived %d + fabric dropped %d + in network %d + impaired %d (missing %d)",
+			injected, arrived, fab.DropWire(), inNetwork, impaired,
 			int64(injected)-int64(accounted))
+	}
+	marked, delivered, dropped, ceInNetwork := fab.ECNLedger()
+	ceAccounted := delivered + dropped + ceInNetwork
+	if marked != ceAccounted {
+		aud.Reportf("netem/ecn-conservation", -1,
+			"at run end: CE-marked %d wire bytes != delivered %d + dropped after mark %d + in network %d (missing %d)",
+			marked, delivered, dropped, ceInNetwork,
+			int64(marked)-int64(ceAccounted))
 	}
 }
 
@@ -896,6 +989,7 @@ func snapshot(s *tcp.Sender, r *tcp.Receiver, qlog *trace.QueueLog, flow int32) 
 		rttSum:      st.MeanRTT * sim.Time(st.RTTSamples),
 		rttCount:    st.RTTSamples,
 		deliveredTx: st.DeliveredBytes,
+		ecnResps:    st.ECNResponses,
 	}
 }
 
@@ -909,6 +1003,7 @@ func flowResult(cfg RunConfig, s *tcp.Sender, r *tcp.Receiver, qlog *trace.Queue
 		RTOs:            st.RTOs - snap.rtos,
 		Drops:           qlog.Flow(flow) - snap.drops,
 		MinRTT:          st.MinRTT,
+		ECNResponses:    st.ECNResponses - snap.ecnResps,
 	}
 	fr.Halvings = fr.FastRecoveries + fr.RTOs
 	deliveredWindow := r.Stats().Delivered - snap.delivered

@@ -47,7 +47,7 @@ func TestRunRenoUtilizationAndFairness(t *testing.T) {
 	// the run a couple of virtual minutes, as the paper's own
 	// convergence rule would.
 	s.Duration = 2 * sim.Minute
-	res, err := Run(s.Config(UniformFlows(8, "reno", DefaultRTT), 1))
+	res, err := Run(s.Build(UniformFlows(8, "reno", DefaultRTT), WithSeed(Seed(1))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRunDeterminism(t *testing.T) {
 			t.Parallel()
 			s := tinySetting()
 			s.Duration = 10 * sim.Second
-			cfg := s.Config(UniformFlows(4, name, DefaultRTT), 42)
+			cfg := s.Build(UniformFlows(4, name, DefaultRTT), WithSeed(Seed(42)))
 			a, err := Run(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -125,7 +125,7 @@ func TestRunDeterminism(t *testing.T) {
 func TestRunDeterminismUnperturbedByAudit(t *testing.T) {
 	s := tinySetting()
 	s.Duration = 10 * sim.Second
-	cfg := s.Config(MixedFlows(4, "cubic", "bbr", DefaultRTT), 42)
+	cfg := s.Build(MixedFlows(4, "cubic", "bbr", DefaultRTT), WithSeed(Seed(42)))
 	plain, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestRunDeterminismUnperturbedByAudit(t *testing.T) {
 
 func TestRunConvergenceEarlyStop(t *testing.T) {
 	s := tinySetting()
-	cfg := s.Config(UniformFlows(4, "reno", DefaultRTT), 7)
+	cfg := s.Build(UniformFlows(4, "reno", DefaultRTT), WithSeed(Seed(7)))
 	cfg.Duration = 5 * sim.Minute // far longer than needed
 	cfg.Converge = 5 * sim.Second
 	cfg.ConvergeTolerance = 0.05
@@ -166,9 +166,9 @@ func TestRunManyOrderAndParallel(t *testing.T) {
 	s.Duration = 8 * sim.Second
 	s.Warmup = 3 * sim.Second
 	cfgs := []RunConfig{
-		s.Config(UniformFlows(2, "reno", DefaultRTT), 1),
-		s.Config(UniformFlows(4, "reno", DefaultRTT), 2),
-		s.Config(UniformFlows(6, "reno", DefaultRTT), 3),
+		s.Build(UniformFlows(2, "reno", DefaultRTT), WithSeed(Seed(1))),
+		s.Build(UniformFlows(4, "reno", DefaultRTT), WithSeed(Seed(2))),
+		s.Build(UniformFlows(6, "reno", DefaultRTT), WithSeed(Seed(3))),
 	}
 	res, err := RunMany(cfgs, 3)
 	if err != nil {
@@ -263,11 +263,11 @@ func TestRunManyPartialFailure(t *testing.T) {
 	s.Duration = 4 * sim.Second
 	s.Warmup = 1 * sim.Second
 	cfgs := []RunConfig{
-		s.Config(UniformFlows(2, "reno", DefaultRTT), 1),
-		s.Config(UniformFlows(2, "cubic", DefaultRTT), 2),
-		s.Config(UniformFlows(2, "reno", DefaultRTT), 3),
-		s.Config(UniformFlows(2, "reno", DefaultRTT), 4),
-		s.Config(UniformFlows(2, "bbr", DefaultRTT), 5),
+		s.Build(UniformFlows(2, "reno", DefaultRTT), WithSeed(Seed(1))),
+		s.Build(UniformFlows(2, "cubic", DefaultRTT), WithSeed(Seed(2))),
+		s.Build(UniformFlows(2, "reno", DefaultRTT), WithSeed(Seed(3))),
+		s.Build(UniformFlows(2, "reno", DefaultRTT), WithSeed(Seed(4))),
+		s.Build(UniformFlows(2, "bbr", DefaultRTT), WithSeed(Seed(5))),
 	}
 	cfgs[3].Duration = -1 // invalid: fails validation inside Run
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ccatscale/internal/budget"
+	"ccatscale/internal/netem"
 	"ccatscale/internal/sim"
 	"ccatscale/internal/telemetry"
 	"ccatscale/internal/units"
@@ -36,6 +37,16 @@ type Setting struct {
 	// AQM overrides the bottleneck discipline for every run of the
 	// setting ("" = drop-tail, the paper's configuration).
 	AQM string
+	// Topology replaces the dumbbell with an explicit link graph for
+	// every run of the setting (nil = dumbbell built from Rate/Buffer).
+	// See RunConfig.Topology.
+	Topology *netem.TopologySpec `json:",omitempty"`
+	// ECN enables RFC 3168 marking end to end for every run of the
+	// setting (dumbbell only; topology links carry their own ECN flag).
+	ECN bool `json:",omitempty"`
+	// ECNMarkBytes overrides the dumbbell's drop-tail CE-marking
+	// threshold (0 = Buffer/4; ignored without ECN).
+	ECNMarkBytes units.ByteCount `json:",omitempty"`
 	// BurstLoss applies Gilbert–Elliott burst loss to every run of the
 	// setting (nil = off).
 	BurstLoss *BurstLossSpec
@@ -180,6 +191,9 @@ func (s Setting) Build(flows []FlowSpec, opts ...ConfigOption) RunConfig {
 		Stagger:      s.Stagger,
 		Converge:     s.Converge,
 		AQM:          s.AQM,
+		Topology:     s.Topology,
+		ECN:          s.ECN,
+		ECNMarkBytes: s.ECNMarkBytes,
 		BurstLoss:    s.BurstLoss,
 		Outage:       s.Outage,
 		WallLimit:    s.WallLimit,

@@ -113,11 +113,11 @@ func TestInterCCASweepModes(t *testing.T) {
 
 func TestCrossSettingAnalysis(t *testing.T) {
 	s := sweepSetting()
-	edgeRes, err := Run(s.Config(UniformFlows(8, "reno", DefaultRTT), 1))
+	edgeRes, err := Run(s.Build(UniformFlows(8, "reno", DefaultRTT), WithSeed(Seed(1))))
 	if err != nil {
 		t.Fatal(err)
 	}
-	coreRes, err := Run(s.Config(UniformFlows(4, "reno", DefaultRTT), 2))
+	coreRes, err := Run(s.Build(UniformFlows(4, "reno", DefaultRTT), WithSeed(Seed(2))))
 	if err != nil {
 		t.Fatal(err)
 	}

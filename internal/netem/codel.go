@@ -44,14 +44,24 @@ type CoDelQueue struct {
 	lastCount      uint32
 	dropping       bool
 
-	enqueued  uint64
-	tailDrops uint64
-	aqmDrops  uint64
+	enqueued    uint64
+	tailDrops   uint64
+	aqmDrops    uint64
+	aqmDropWire units.ByteCount
 
 	maxBytes   units.ByteCount
 	maxPackets int
 
 	onDrop DropFunc
+
+	// ECN mode: when enabled, the control law CE-marks ECT packets
+	// instead of dropping them (RFC 8289 §3; the fq_codel behavior).
+	// Non-ECT packets are still dropped, and tail drops always drop.
+	ecn           bool
+	ceBytes       units.ByteCount
+	ceMarkWire    units.ByteCount
+	ceMarks       uint64
+	ceAqmDropWire units.ByteCount
 }
 
 type codelEntry struct {
@@ -80,6 +90,29 @@ func NewCoDelQueue(now func() sim.Time, capacity units.ByteCount, onDrop DropFun
 // Capacity returns the configured byte capacity.
 func (q *CoDelQueue) Capacity() units.ByteCount { return q.capacity }
 
+// SetECN switches the control law to CE-marking ECT packets instead of
+// dropping them. Marking never changes admission or ordering for
+// non-ECT traffic, so an all-non-ECT workload is bit-identical either
+// way.
+func (q *CoDelQueue) SetECN(on bool) { q.ecn = on }
+
+// CEMarkWire returns cumulative wire bytes CE-marked at this queue.
+func (q *CoDelQueue) CEMarkWire() units.ByteCount { return q.ceMarkWire }
+
+// CEMarks returns the cumulative count of packets CE-marked here.
+func (q *CoDelQueue) CEMarks() uint64 { return q.ceMarks }
+
+// CEQueuedBytes returns the wire bytes of CE-marked packets currently
+// queued (pass-through CE from an upstream bottleneck; CoDel's own
+// marks leave immediately).
+func (q *CoDelQueue) CEQueuedBytes() units.ByteCount { return q.ceBytes }
+
+// CEDropWire returns cumulative wire bytes of CE-marked packets the
+// control law dropped anyway (non-ECN mode, or head drops of upstream-
+// marked packets while their flow is non-ECT — impossible by
+// construction, but the ledger accounts it rather than assuming).
+func (q *CoDelQueue) CEDropWire() units.ByteCount { return q.ceAqmDropWire }
+
 // Bytes returns current occupancy in wire bytes.
 func (q *CoDelQueue) Bytes() units.ByteCount { return q.bytes }
 
@@ -94,6 +127,9 @@ func (q *CoDelQueue) TailDrops() uint64 { return q.tailDrops }
 
 // AQMDrops returns drops made by the CoDel control law.
 func (q *CoDelQueue) AQMDrops() uint64 { return q.aqmDrops }
+
+// AQMDropWire returns cumulative wire bytes dropped by the control law.
+func (q *CoDelQueue) AQMDropWire() units.ByteCount { return q.aqmDropWire }
 
 // MaxBytes returns the high-water mark of byte occupancy.
 func (q *CoDelQueue) MaxBytes() units.ByteCount { return q.maxBytes }
@@ -121,6 +157,9 @@ func (q *CoDelQueue) Push(p packet.Packet) bool {
 	}
 	if q.n == len(q.ring) {
 		q.grow()
+	}
+	if p.CE {
+		q.ceBytes += wire
 	}
 	q.ring[(q.head+q.n)%len(q.ring)] = codelEntry{p: p, at: q.now()}
 	q.n++
@@ -153,6 +192,9 @@ func (q *CoDelQueue) popHead() (codelEntry, bool) {
 	q.head = (q.head + 1) % len(q.ring)
 	q.n--
 	q.bytes -= e.p.WireBytes()
+	if e.p.CE {
+		q.ceBytes -= e.p.WireBytes()
+	}
 	return e, true
 }
 
@@ -199,6 +241,14 @@ func (q *CoDelQueue) Pop() (packet.Packet, bool) {
 			q.dropping = false
 		} else {
 			for now >= q.dropNext && q.dropping {
+				if q.markCE(&e.p) {
+					// ECN: the mark stands in for the drop; the control
+					// law advances as if one had happened and the marked
+					// packet is delivered.
+					q.count++
+					q.dropNext = q.controlLaw(q.dropNext)
+					return e.p, true
+				}
 				q.dropPacket(e.p, now)
 				q.count++
 				e, ok, okToDrop = q.doDequeue(now)
@@ -214,7 +264,10 @@ func (q *CoDelQueue) Pop() (packet.Packet, bool) {
 			}
 		}
 	} else if okToDrop {
-		q.dropPacket(e.p, now)
+		marked := q.markCE(&e.p)
+		if !marked {
+			q.dropPacket(e.p, now)
+		}
 		q.dropping = true
 		// Resume drop spacing near the previous rate if we were
 		// dropping recently (RFC 8289 §5.4).
@@ -226,10 +279,12 @@ func (q *CoDelQueue) Pop() (packet.Packet, bool) {
 		}
 		q.lastCount = q.count
 		q.dropNext = q.controlLaw(now)
-		e, ok, _ = q.doDequeue(now)
-		if !ok {
-			q.dropping = false
-			return packet.Packet{}, false
+		if !marked {
+			e, ok, _ = q.doDequeue(now)
+			if !ok {
+				q.dropping = false
+				return packet.Packet{}, false
+			}
 		}
 	}
 	return e.p, true
@@ -237,7 +292,25 @@ func (q *CoDelQueue) Pop() (packet.Packet, bool) {
 
 func (q *CoDelQueue) dropPacket(p packet.Packet, now sim.Time) {
 	q.aqmDrops++
+	q.aqmDropWire += p.WireBytes()
+	if p.CE {
+		q.ceAqmDropWire += p.WireBytes()
+	}
 	if q.onDrop != nil {
 		q.onDrop(now, p)
 	}
+}
+
+// markCE CE-marks an ECT packet in ECN mode, reporting whether the
+// packet may be delivered in place of a control-law drop.
+func (q *CoDelQueue) markCE(p *packet.Packet) bool {
+	if !q.ecn || !p.ECT {
+		return false
+	}
+	if !p.CE {
+		p.CE = true
+		q.ceMarks++
+		q.ceMarkWire += p.WireBytes()
+	}
+	return true
 }

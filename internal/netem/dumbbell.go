@@ -49,6 +49,11 @@ type Dumbbell struct {
 	aq        *AuditedQueue
 	dropWire  units.ByteCount // all bottleneck drops (tail + AQM), wire bytes
 	propBytes units.ByteCount // data bytes in forward propagation flight
+
+	// CE slices of the audit ledger: wire bytes of CE-marked packets in
+	// propagation flight and delivered to the endpoint sink.
+	cePropBytes     units.ByteCount
+	ceDeliveredWire units.ByteCount
 }
 
 // AQM selects the bottleneck queue discipline.
@@ -74,6 +79,15 @@ type DumbbellConfig struct {
 	OnDrop DropFunc
 	// Discipline selects the queueing discipline (default DropTail).
 	Discipline AQM
+	// ECN enables CE marking at the bottleneck: a step threshold on the
+	// drop-tail queue, mark-instead-of-drop on CoDel. Marking only ever
+	// touches ECT packets, so enabling it under non-ECT traffic is
+	// bit-identical to leaving it off.
+	ECN bool
+	// ECNMarkBytes is the drop-tail CE-marking threshold in wire bytes;
+	// 0 defaults to a quarter of the buffer. Ignored by CoDel, whose
+	// control law decides when to mark.
+	ECNMarkBytes units.ByteCount
 	// Audit enables the netem conservation ledger: shadow queue
 	// accounting plus the port-level byte-conservation check after
 	// every send and transmit completion. Nil disables auditing.
@@ -125,6 +139,10 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	if cfg.Audit != nil {
 		d.recvFn = func(p packet.Packet) {
 			d.propBytes -= p.WireBytes()
+			if p.CE {
+				d.cePropBytes -= p.WireBytes()
+				d.ceDeliveredWire += p.WireBytes()
+			}
 			d.toReceiver(p)
 		}
 	} else {
@@ -160,14 +178,22 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		// The CoDel queue reports its own drops (both tail and AQM), so
 		// the port's tail-drop callback stays unset to avoid double
 		// counting.
-		var queue Queue = NewCoDelQueue(eng.Now, cfg.Buffer, onDrop)
+		cq := NewCoDelQueue(eng.Now, cfg.Buffer, onDrop)
+		if cfg.ECN {
+			cq.SetECN(true)
+		}
+		var queue Queue = cq
 		if d.aud != nil {
 			d.aq = NewAuditedQueue(queue, d.aud)
 			queue = d.aq
 		}
 		d.port = NewPort(eng, cfg.Rate, queue, d.deliverData, nil)
 	default:
-		var queue Queue = NewDropTailQueue(cfg.Buffer)
+		dt := NewDropTailQueue(cfg.Buffer)
+		if cfg.ECN {
+			dt.SetCEThreshold(ceThreshold(cfg.ECNMarkBytes, cfg.Buffer))
+		}
+		var queue Queue = dt
 		if d.aud != nil {
 			d.aq = NewAuditedQueue(queue, d.aud)
 			queue = d.aq
@@ -219,6 +245,9 @@ func (d *Dumbbell) SendData(p packet.Packet) {
 func (d *Dumbbell) deliverData(p packet.Packet) {
 	if d.aud != nil {
 		d.propBytes += p.WireBytes()
+		if p.CE {
+			d.cePropBytes += p.WireBytes()
+		}
 	}
 	d.eng.After(fwdPropDelay, d.fwdPool.get(d.recvFn, p).fn)
 }
@@ -230,6 +259,29 @@ func (d *Dumbbell) PropagatingBytes() units.ByteCount { return d.propBytes }
 // BottleneckDropWire returns cumulative wire bytes dropped at the
 // bottleneck, tail and AQM combined (maintained only while auditing).
 func (d *Dumbbell) BottleneckDropWire() units.ByteCount { return d.dropWire }
+
+// DropWire implements Fabric: total fabric drops in wire bytes
+// (maintained only while auditing, like the end-to-end ledger it feeds).
+func (d *Dumbbell) DropWire() units.ByteCount { return d.dropWire }
+
+// InNetworkBytes implements Fabric: wire bytes queued, serializing, or
+// in propagation flight inside the fabric.
+func (d *Dumbbell) InNetworkBytes() units.ByteCount {
+	return d.port.Queue().Bytes() + d.port.SerializingBytes() + d.propBytes
+}
+
+// ECNLedger implements Fabric. Delivered and in-flight terms are
+// maintained only while auditing.
+func (d *Dumbbell) ECNLedger() (marked, delivered, dropped, inNetwork units.ByteCount) {
+	marked, dropped, ceQueued := portECNTerms(d.port)
+	inNetwork = ceQueued + d.port.CESerializingBytes() + d.cePropBytes
+	return marked, d.ceDeliveredWire, dropped, inNetwork
+}
+
+// LinkStats implements Fabric: the dumbbell is one bottleneck link.
+func (d *Dumbbell) LinkStats() []LinkStat {
+	return []LinkStat{linkStat("bottleneck", d.port)}
+}
 
 // DrillCorruptQueue corrupts the bottleneck drop-tail queue's byte
 // counter by one full-size frame, simulating a double decrement — the

@@ -1,0 +1,126 @@
+package netem
+
+import (
+	"ccatscale/internal/packet"
+	"ccatscale/internal/units"
+)
+
+// Fabric is the network substrate a run drives: the paper's dumbbell or
+// the general Topology graph. Both move data sender→receiver through
+// rate-limited serializing ports and return ACKs over an uncongested
+// reverse path, and both maintain the conservation-ledger terms the
+// auditor closes the run against.
+type Fabric interface {
+	// SendData injects a data segment at its flow's source.
+	SendData(p packet.Packet)
+	// SendAck returns an ACK to the sender after the flow's reverse
+	// delay.
+	SendAck(p packet.Packet)
+	// SetEndpoints attaches the demultiplexed delivery sinks.
+	SetEndpoints(toReceiver, toSender Sink)
+	// Port exposes the primary bottleneck port (the lowest-rate link)
+	// for utilization and queue-occupancy statistics.
+	Port() *Port
+	// Flows returns the number of configured flows.
+	Flows() int
+	// InNetworkBytes returns wire bytes queued, serializing, or in
+	// propagation flight inside the fabric (propagation terms are
+	// maintained only while auditing).
+	InNetworkBytes() units.ByteCount
+	// DropWire returns cumulative fabric drops in wire bytes
+	// (maintained only while auditing).
+	DropWire() units.ByteCount
+	// ECNLedger returns the marking-conservation terms at the fabric
+	// boundary: wire bytes CE-marked by queues, delivered to the
+	// endpoint sink, dropped after marking, and still inside the
+	// fabric. Every marked byte must be exactly one of the other three.
+	ECNLedger() (marked, delivered, dropped, inNetwork units.ByteCount)
+	// LinkStats reports per-link counters, primary bottleneck first for
+	// the dumbbell and in declaration order for topologies.
+	LinkStats() []LinkStat
+	// DrillCorruptQueue corrupts a drop-tail byte counter for the audit
+	// drill, reporting whether a drill hook existed.
+	DrillCorruptQueue() bool
+}
+
+// LinkStat is one link's externally visible counters.
+type LinkStat struct {
+	// Name labels the link ("bottleneck" for the dumbbell).
+	Name string
+	// Rate is the configured line rate.
+	Rate units.Bandwidth
+	// Utilization is the fraction of virtual time spent transmitting.
+	Utilization float64
+	// TxBytes / TxPackets are cumulative transmissions.
+	TxBytes   units.ByteCount
+	TxPackets uint64
+	// DropWire is cumulative dropped wire bytes (tail + AQM).
+	DropWire units.ByteCount
+	// CEMarks / CEMarkWire count CE marks made at this link's queue.
+	CEMarks    uint64
+	CEMarkWire units.ByteCount
+	// QueueMaxBytes / QueueMaxLen are queue occupancy high-water marks.
+	QueueMaxBytes units.ByteCount
+	QueueMaxLen   int
+}
+
+// ceThreshold resolves a configured drop-tail CE-marking threshold:
+// explicit wins, otherwise a quarter of the buffer — deep enough to
+// stay above transient bursts, shallow enough that marking fires well
+// before tail loss.
+func ceThreshold(markAt, buffer units.ByteCount) units.ByteCount {
+	if markAt > 0 {
+		return markAt
+	}
+	return buffer / 4
+}
+
+// innerQueue unwraps an audit shadow wrapper to the concrete queue.
+func innerQueue(q Queue) Queue {
+	if aq, ok := q.(*AuditedQueue); ok {
+		return aq.Inner()
+	}
+	return q
+}
+
+// portECNTerms collects one port's contribution to the ECN ledger:
+// marks made at its queue, CE bytes dropped at it (tail drops of
+// already-marked packets plus AQM head drops), and CE bytes still
+// queued.
+func portECNTerms(p *Port) (marked, dropped, ceQueued units.ByteCount) {
+	q := innerQueue(p.Queue())
+	if st, ok := q.(ECNStats); ok {
+		marked = st.CEMarkWire()
+		ceQueued = st.CEQueuedBytes()
+	}
+	dropped = p.CEDropBytes()
+	if cq, ok := q.(*CoDelQueue); ok {
+		dropped += cq.CEDropWire()
+	}
+	return marked, dropped, ceQueued
+}
+
+// linkStat renders one port's LinkStat under the given name.
+func linkStat(name string, p *Port) LinkStat {
+	st := LinkStat{
+		Name:        name,
+		Rate:        p.Rate(),
+		Utilization: p.Utilization(),
+		TxBytes:     p.TxBytes(),
+		TxPackets:   p.TxPackets(),
+		DropWire:    p.DropBytes(),
+	}
+	q := innerQueue(p.Queue())
+	if cq, ok := q.(*CoDelQueue); ok {
+		st.DropWire += cq.AQMDropWire()
+	}
+	if e, ok := q.(ECNStats); ok {
+		st.CEMarks = e.CEMarks()
+		st.CEMarkWire = e.CEMarkWire()
+	}
+	if occ, ok := q.(OccupancyStats); ok {
+		st.QueueMaxBytes = occ.MaxBytes()
+		st.QueueMaxLen = occ.MaxLen()
+	}
+	return st
+}

@@ -35,6 +35,15 @@ type OccupancyStats interface {
 	MemBytes() int64
 }
 
+// ECNStats is the optional interface CE-marking queues implement: the
+// cumulative marks made at the queue and the CE occupancy still inside
+// it, the queue-side terms of the marking-conservation ledger.
+type ECNStats interface {
+	CEMarkWire() units.ByteCount
+	CEMarks() uint64
+	CEQueuedBytes() units.ByteCount
+}
+
 // Port models a store-and-forward output port: packets are accepted into
 // a queue and serialized one at a time at the configured line rate, then
 // handed to the downstream sink. Together with DropTailQueue it is the
@@ -65,6 +74,12 @@ type Port struct {
 	dropBytes    units.ByteCount
 	serializing  units.ByteCount
 	auditCheck   func(op string)
+
+	// CE-marked slices of the ledger, for the ECN marking-conservation
+	// check: wire bytes of CE packets tail-dropped here and currently
+	// serializing. Zero for all traffic without ECN enabled.
+	ceDropWire    units.ByteCount
+	ceSerializing units.ByteCount
 
 	// The in-flight serialization is completed by a single reusable
 	// bound-method event: the port transmits one packet at a time, so
@@ -110,6 +125,14 @@ func (p *Port) DropBytes() units.ByteCount { return p.dropBytes }
 // one packet's worth).
 func (p *Port) SerializingBytes() units.ByteCount { return p.serializing }
 
+// CEDropBytes returns cumulative wire bytes of CE-marked packets
+// tail-dropped at this port (possible only past a marking bottleneck).
+func (p *Port) CEDropBytes() units.ByteCount { return p.ceDropWire }
+
+// CESerializingBytes returns the CE-marked wire bytes currently on the
+// wire (0 or one packet's worth).
+func (p *Port) CESerializingBytes() units.ByteCount { return p.ceSerializing }
+
 // SetAuditCheck installs a conservation check invoked after every send
 // and transmit completion. The check observes only port and queue
 // state; nil removes it.
@@ -142,6 +165,9 @@ func (p *Port) Send(pkt packet.Packet) {
 	}
 	if !p.queue.Push(pkt) {
 		p.dropBytes += pkt.WireBytes()
+		if pkt.CE {
+			p.ceDropWire += pkt.WireBytes()
+		}
 		if p.onDrop != nil {
 			p.onDrop(p.eng.Now(), pkt)
 		}
@@ -156,6 +182,9 @@ func (p *Port) transmit(pkt packet.Packet) {
 	p.busy = true
 	p.busySince = p.eng.Now()
 	p.serializing += pkt.WireBytes()
+	if pkt.CE {
+		p.ceSerializing += pkt.WireBytes()
+	}
 	p.txPkt = pkt
 	done := p.rate.TransmissionTime(pkt.WireBytes())
 	p.eng.After(done, p.txDoneFn)
@@ -166,6 +195,9 @@ func (p *Port) txDone() {
 	p.busyTotal += p.eng.Now() - p.busySince
 	p.busy = false
 	p.serializing -= pkt.WireBytes()
+	if pkt.CE {
+		p.ceSerializing -= pkt.WireBytes()
+	}
 	p.txBytes += pkt.WireBytes()
 	p.txPackets++
 	if next, ok := p.queue.Pop(); ok {

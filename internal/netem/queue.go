@@ -33,6 +33,17 @@ type DropTailQueue struct {
 	dropped    uint64
 	maxBytes   units.ByteCount
 	maxPackets int
+
+	// ECN: when markAt > 0, ECT packets admitted while occupancy
+	// (including the new packet) reaches markAt are CE-marked instead of
+	// waiting for a tail drop — a DCTCP-style step threshold. ceBytes
+	// tracks the wire bytes of CE packets currently queued (for the
+	// marking conservation ledger); ceMarkWire/ceMarks the cumulative
+	// marks made here.
+	markAt     units.ByteCount
+	ceBytes    units.ByteCount
+	ceMarkWire units.ByteCount
+	ceMarks    uint64
 }
 
 // NewDropTailQueue creates a queue holding at most capacity bytes of
@@ -69,6 +80,22 @@ func RingSlotsFor(capacity units.ByteCount) int {
 
 // Capacity returns the configured byte capacity.
 func (q *DropTailQueue) Capacity() units.ByteCount { return q.capacity }
+
+// SetCEThreshold enables CE marking of ECT packets once occupancy
+// reaches markAt wire bytes (0 disables marking, the default). Marking
+// never changes which packets are accepted or their order — only the CE
+// bit — so an all-non-ECT workload is bit-identical with any threshold.
+func (q *DropTailQueue) SetCEThreshold(markAt units.ByteCount) { q.markAt = markAt }
+
+// CEMarkWire returns cumulative wire bytes CE-marked at this queue.
+func (q *DropTailQueue) CEMarkWire() units.ByteCount { return q.ceMarkWire }
+
+// CEMarks returns the cumulative count of packets CE-marked here.
+func (q *DropTailQueue) CEMarks() uint64 { return q.ceMarks }
+
+// CEQueuedBytes returns the wire bytes of CE-marked packets currently
+// queued.
+func (q *DropTailQueue) CEQueuedBytes() units.ByteCount { return q.ceBytes }
 
 // Bytes returns the current occupancy in wire bytes.
 func (q *DropTailQueue) Bytes() units.ByteCount { return q.bytes }
@@ -109,6 +136,14 @@ func (q *DropTailQueue) Push(p packet.Packet) bool {
 	if q.n == len(q.ring) {
 		q.grow()
 	}
+	if q.markAt > 0 && p.ECT && !p.CE && q.bytes+wire >= q.markAt {
+		p.CE = true
+		q.ceMarkWire += wire
+		q.ceMarks++
+	}
+	if p.CE {
+		q.ceBytes += wire
+	}
 	q.ring[(q.head+q.n)&q.mask] = p
 	q.n++
 	q.bytes += wire
@@ -133,6 +168,9 @@ func (q *DropTailQueue) Pop() (packet.Packet, bool) {
 	q.head = (q.head + 1) & q.mask
 	q.n--
 	q.bytes -= p.WireBytes()
+	if p.CE {
+		q.ceBytes -= p.WireBytes()
+	}
 	return p, true
 }
 

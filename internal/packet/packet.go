@@ -59,6 +59,17 @@ type Packet struct {
 	// produce an RTT sample (Karn's algorithm).
 	Retrans bool
 
+	// ECN state (RFC 3168, simplified to one bit per codepoint). ECT
+	// marks a data segment ECN-capable: an ECN-enabled queue sets CE on
+	// it instead of (or before) dropping. The receiver echoes CE back as
+	// ECE on every ACK until the sender's CWR-marked data confirms a
+	// window reduction. Retransmissions are never ECT (RFC 3168 §6.1.5),
+	// and pure ACKs are never ECT/CE.
+	ECT bool
+	CE  bool
+	ECE bool // on ACKs: congestion-experienced echo latch
+	CWR bool // on data: congestion window reduced (clears the ECE latch)
+
 	// CumAck is the cumulative acknowledgment (next expected byte) for
 	// ACK packets.
 	CumAck int64

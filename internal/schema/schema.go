@@ -28,7 +28,13 @@ import (
 //	      (internal/store JournalRecord), content-addressed store record
 //	      trailers, and the manifest jobRecord's "cached" field. Minor
 //	      bump: 1.0 readers would only miss additions.
-const Version = "1.1"
+//	1.2 — declarative scenarios: the Scenario document (a JobSpec plus
+//	      audit/series knobs behind one schema_version), topology graphs
+//	      on JobSpec ("topology", per-group "path"), and ECN fields
+//	      ("ecn", "ecnMarkBytes", per-link equivalents). Minor bump: all
+//	      additions are omitempty, so 1.1 documents parse unchanged and
+//	      1.1 readers only miss fields they never set.
+const Version = "1.2"
 
 // Field is the canonical JSON key carrying the version.
 const Field = "schema_version"

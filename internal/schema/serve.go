@@ -45,12 +45,16 @@ func JobTerminal(state string) bool {
 // FlowGroup describes Count identical flows in a scenario.
 type FlowGroup struct {
 	// CCA is the congestion control algorithm ("reno", "cubic", "bbr",
-	// "bbrv2").
+	// "vegas", "bbr2").
 	CCA string `json:"cca"`
 	// RTTMs is the flows' base round-trip time in milliseconds.
 	RTTMs float64 `json:"rttMs"`
 	// Count is how many such flows to run (≥1).
 	Count int `json:"count"`
+	// Path routes the group's forward traffic through the named
+	// topology links, in order. Required (non-empty) when the job
+	// declares a topology; must be absent otherwise.
+	Path []string `json:"path,omitempty"`
 }
 
 // JobSpec is one scenario configuration a client submits. Name plus
@@ -63,10 +67,22 @@ type JobSpec struct {
 	Name string `json:"name"`
 	// Seed seeds the simulation.
 	Seed uint64 `json:"seed"`
-	// RateMbps is the bottleneck bandwidth in Mbps.
-	RateMbps float64 `json:"rateMbps"`
-	// BufferBytes is the drop-tail queue capacity.
-	BufferBytes int64 `json:"bufferBytes"`
+	// RateMbps is the bottleneck bandwidth in Mbps (dumbbell jobs;
+	// ignored when Topology is set, where each link carries its own
+	// rate).
+	RateMbps float64 `json:"rateMbps,omitempty"`
+	// BufferBytes is the drop-tail queue capacity (dumbbell jobs;
+	// ignored when Topology is set).
+	BufferBytes int64 `json:"bufferBytes,omitempty"`
+	// Topology replaces the implicit dumbbell with an explicit link
+	// graph; flow groups then route via their Path fields.
+	Topology *TopologyDoc `json:"topology,omitempty"`
+	// ECN enables RFC 3168 marking end to end on a dumbbell job
+	// (topology jobs flag ECN per link instead).
+	ECN bool `json:"ecn,omitempty"`
+	// ECNMarkBytes overrides the dumbbell's drop-tail CE-marking
+	// threshold (0 = BufferBytes/4; ignored without ECN).
+	ECNMarkBytes int64 `json:"ecnMarkBytes,omitempty"`
 	// Flows lists the flow groups; at least one, each non-empty.
 	Flows []FlowGroup `json:"flows"`
 	// WarmupS is the excluded start-up period in virtual seconds.
@@ -97,11 +113,20 @@ func (s *JobSpec) Validate() error {
 	if strings.HasPrefix(s.Name, ".") {
 		return fmt.Errorf("schema: job name %q must not start with a dot", s.Name)
 	}
-	if s.RateMbps <= 0 {
-		return fmt.Errorf("schema: job %s: rateMbps %v must be positive", s.Name, s.RateMbps)
-	}
-	if s.BufferBytes <= 0 {
-		return fmt.Errorf("schema: job %s: bufferBytes %d must be positive", s.Name, s.BufferBytes)
+	if s.Topology != nil {
+		if err := s.Topology.Validate(); err != nil {
+			return fmt.Errorf("schema: job %s: %w", s.Name, err)
+		}
+	} else {
+		if s.RateMbps <= 0 {
+			return fmt.Errorf("schema: job %s: rateMbps %v must be positive", s.Name, s.RateMbps)
+		}
+		if s.BufferBytes <= 0 {
+			return fmt.Errorf("schema: job %s: bufferBytes %d must be positive", s.Name, s.BufferBytes)
+		}
+		if s.ECNMarkBytes < 0 {
+			return fmt.Errorf("schema: job %s: ecnMarkBytes %d must be non-negative", s.Name, s.ECNMarkBytes)
+		}
 	}
 	if s.DurationS <= 0 {
 		return fmt.Errorf("schema: job %s: durationS %v must be positive", s.Name, s.DurationS)
@@ -121,6 +146,20 @@ func (s *JobSpec) Validate() error {
 		}
 		if g.Count < 1 {
 			return fmt.Errorf("schema: job %s: flow group %d count %d must be ≥1", s.Name, i, g.Count)
+		}
+		if s.Topology == nil {
+			if len(g.Path) > 0 {
+				return fmt.Errorf("schema: job %s: flow group %d declares a path but the job has no topology", s.Name, i)
+			}
+			continue
+		}
+		if len(g.Path) == 0 {
+			return fmt.Errorf("schema: job %s: flow group %d needs a path through the topology", s.Name, i)
+		}
+		for _, name := range g.Path {
+			if s.Topology.Link(name) == nil {
+				return fmt.Errorf("schema: job %s: flow group %d routes over undeclared link %q", s.Name, i, name)
+			}
 		}
 	}
 	return nil

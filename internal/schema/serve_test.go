@@ -2,6 +2,7 @@ package schema
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -87,7 +88,7 @@ func TestBatchRequestRoundTrip(t *testing.T) {
 	want, have := req.Jobs[0], got.Jobs[0]
 	if want.Name != have.Name || want.Seed != have.Seed || want.RateMbps != have.RateMbps ||
 		want.BufferBytes != have.BufferBytes || want.DurationS != have.DurationS ||
-		len(want.Flows) != len(have.Flows) || want.Flows[0] != have.Flows[0] {
+		len(want.Flows) != len(have.Flows) || !reflect.DeepEqual(want.Flows[0], have.Flows[0]) {
 		t.Fatalf("round trip changed the spec: want %+v got %+v", want, have)
 	}
 }

@@ -76,6 +76,8 @@ type ReceiverStats struct {
 	// StretchAcks counts ACKs that covered a coalesced run of more
 	// than ackEverySegments segments.
 	StretchAcks uint64
+	// CESegments counts data arrivals carrying a CE mark.
+	CESegments uint64
 }
 
 // oooRange is a received out-of-order byte range with a recency stamp
@@ -106,6 +108,11 @@ type Receiver struct {
 	// Receive-offload state: the in-progress same-flow aggregate.
 	groTimer *sim.Timer
 	groRun   int
+
+	// ECN echo latch (RFC 3168 §6.1.3): set on any CE arrival, echoed
+	// as ECE on every ACK until the sender confirms its reduction with
+	// CWR. Never set without CE marks, so non-ECN runs are untouched.
+	eceLatch bool
 
 	// Echo state for the next (possibly delayed) ACK: RTT fields come
 	// from the oldest unacknowledged arrival, rate fields from the
@@ -152,6 +159,15 @@ func (r *Receiver) OnData(p packet.Packet) {
 
 func (r *Receiver) onData(p packet.Packet) {
 	r.stats.SegmentsReceived++
+	// CWR clears the echo latch before CE can re-arm it: a packet
+	// carrying both announces the reduction and a fresh mark after it.
+	if p.CWR {
+		r.eceLatch = false
+	}
+	if p.CE {
+		r.eceLatch = true
+		r.stats.CESegments++
+	}
 	r.rememberEcho(p)
 	switch {
 	case p.End() <= r.rcvNxt:
@@ -296,6 +312,7 @@ func (r *Receiver) sendAck() {
 		Flow:   r.flow,
 		Ack:    true,
 		CumAck: r.rcvNxt,
+		ECE:    r.eceLatch,
 	}
 	// RTT echo from the oldest pending arrival (TCP timestamp
 	// semantics under delayed ACKs), rate echo from the newest.

@@ -32,6 +32,13 @@ type SenderStats struct {
 	RTOs uint64
 	// TLPProbes counts tail-loss probe transmissions.
 	TLPProbes uint64
+	// ECEAcks counts ACKs that arrived with the congestion-experienced
+	// echo set.
+	ECEAcks uint64
+	// ECNResponses counts window reductions taken in response to ECE
+	// (at most one per window of data; each is a congestion event that
+	// cost no retransmission).
+	ECNResponses uint64
 	// RTTSamples, MeanRTT, MinRTT, SRTT summarize the RTT estimator.
 	RTTSamples uint64
 	MeanRTT    sim.Time
@@ -65,6 +72,11 @@ type Config struct {
 	// OnComplete fires once when a finite transfer is fully
 	// acknowledged; ignored for infinite streams.
 	OnComplete func()
+	// ECN enables RFC 3168 negotiation: new data is sent ECT,
+	// CE-marked deliveries come back as ECE echoes, and the sender
+	// responds with at most one window reduction per window of data,
+	// confirming via CWR. Retransmissions are never ECT (§6.1.5).
+	ECN bool
 	// Audit enables the transport invariant checks (nil = off): cheap
 	// per-ACK sequence/pipe/timer checks plus a periodic full SACK
 	// scoreboard recount.
@@ -123,6 +135,14 @@ type Sender struct {
 	paceTimer    *sim.Timer
 	nextSendTime sim.Time
 
+	// ECN state: ecnRespPoint is the snd.nxt recorded at the last ECE
+	// response; further echoes are ignored until it is cumulatively
+	// acknowledged (once-per-window, RFC 3168 §6.1.2). sendCWR requests
+	// the CWR flag on the next new data segment.
+	ecn          bool
+	ecnRespPoint int64
+	sendCWR      bool
+
 	// Delivery-rate sampling (Cheng et al.).
 	delivered     units.ByteCount
 	deliveredTime sim.Time
@@ -172,6 +192,7 @@ func NewSender(eng *sim.Engine, flow int32, cfg Config) *Sender {
 		window: newSendWindow(mss),
 		aud:    cfg.Audit,
 		tel:    cfg.Telemetry,
+		ecn:    cfg.ECN,
 	}
 	s.rtoTimer = sim.NewTimer(eng, s.onRTO)
 	s.paceTimer = sim.NewTimer(eng, s.trySend)
@@ -288,6 +309,31 @@ func (s *Sender) OnAck(p packet.Packet) {
 		s.exitRecovery(now)
 	}
 	s.updatePRR(newlyDelivered)
+
+	// 6b. ECN echo (RFC 3168 §6.1.2): an ECE-carrying ACK is a
+	// congestion signal equivalent to one lost segment, reacted to at
+	// most once per window of data and never on top of an in-progress
+	// loss recovery (which already reduced for this window).
+	if s.ecn && p.ECE {
+		s.stats.ECEAcks++
+		if !s.inRecovery && s.window.Una() >= s.ecnRespPoint {
+			s.stats.ECNResponses++
+			var priorCwnd units.ByteCount
+			if s.tel != nil {
+				priorCwnd = s.cc.Cwnd()
+			}
+			s.cc.OnECNMark(now, s.window.Pipe())
+			s.ecnRespPoint = s.window.Nxt()
+			s.sendCWR = true
+			if s.tel != nil {
+				s.tel.Emit(telemetry.Event{
+					Time: now, Kind: telemetry.KindLoss,
+					Flow: s.flow, CCA: s.cc.Name(), Label: "ecn-mark",
+					A: int64(priorCwnd), B: int64(s.window.Pipe()),
+				})
+			}
+		}
+	}
 
 	// 7. Congestion control.
 	s.cc.OnAck(cca.AckEvent{
@@ -626,6 +672,13 @@ func (s *Sender) transmit(seg int64, retrans bool, now sim.Time) {
 		Delivered:   int64(s.delivered),
 		DeliveredAt: s.deliveredTime,
 		FirstSentAt: s.firstSentTime,
+	}
+	if s.ecn && !retrans {
+		p.ECT = true
+		if s.sendCWR {
+			p.CWR = true
+			s.sendCWR = false
+		}
 	}
 	s.stats.SegmentsSent++
 	if retrans {

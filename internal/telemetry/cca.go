@@ -121,3 +121,8 @@ func (w *observedCCA) OnRTO(now sim.Time) {
 	w.inner.OnRTO(now)
 	w.emitTransition(now)
 }
+
+func (w *observedCCA) OnECNMark(now sim.Time, inFlight units.ByteCount) {
+	w.inner.OnECNMark(now, inFlight)
+	w.emitTransition(now)
+}

@@ -244,6 +244,7 @@ func (f *fakeStateCCA) OnAck(cca.AckEvent)                        { f.state = "a
 func (f *fakeStateCCA) OnEnterRecovery(sim.Time, units.ByteCount) { f.state = "recovery" }
 func (f *fakeStateCCA) OnExitRecovery(sim.Time)                   { f.state = "open" }
 func (f *fakeStateCCA) OnRTO(sim.Time)                            { f.state = "loss" }
+func (f *fakeStateCCA) OnECNMark(sim.Time, units.ByteCount)       { f.state = "marked" }
 func (f *fakeStateCCA) Cwnd() units.ByteCount                     { return 10 * 1460 }
 func (f *fakeStateCCA) PacingRate() units.Bandwidth               { return 0 }
 func (f *fakeStateCCA) State() string                             { return f.state }
@@ -261,6 +262,7 @@ func (statelessCCA) OnAck(cca.AckEvent)                        {}
 func (statelessCCA) OnEnterRecovery(sim.Time, units.ByteCount) {}
 func (statelessCCA) OnExitRecovery(sim.Time)                   {}
 func (statelessCCA) OnRTO(sim.Time)                            {}
+func (statelessCCA) OnECNMark(sim.Time, units.ByteCount)       {}
 func (statelessCCA) Cwnd() units.ByteCount                     { return 1460 }
 func (statelessCCA) PacingRate() units.Bandwidth               { return 0 }
 
